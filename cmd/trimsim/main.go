@@ -1,0 +1,65 @@
+// Command trimsim runs the paper-reproduction experiments and prints the
+// tables/series each figure or table of the paper reports.
+//
+// Usage:
+//
+//	trimsim -list
+//	trimsim -run fig9
+//	trimsim -run fig8 -reps 10 -seed 7
+//	trimsim -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcptrim/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trimsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trimsim", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		id     = fs.String("run", "", "experiment id to run (see -list)")
+		all    = fs.Bool("all", false, "run every registered experiment")
+		seed   = fs.Int64("seed", 1, "random seed")
+		reps   = fs.Int("reps", 0, "repetitions for randomized scenarios (0 = default)")
+		csvDir = fs.String("csv", "", "directory for CSV time-series export (fig4/fig6/fig9/fig10)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir}
+	switch {
+	case *list:
+		fmt.Println(strings.Join(experiment.IDs(), "\n"))
+		return nil
+	case *all:
+		for _, eid := range experiment.IDs() {
+			fmt.Printf("### %s\n\n", eid)
+			if err := experiment.Run(eid, opts, os.Stdout); err != nil {
+				return fmt.Errorf("%s: %w", eid, err)
+			}
+		}
+		return nil
+	case *id != "":
+		return experiment.Run(*id, opts, os.Stdout)
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -list, -run, -all is required")
+	}
+}

@@ -1,0 +1,170 @@
+// Command trimtrace runs the paper's packet-train analysis (Section II.A,
+// Fig. 1 and Fig. 2 methodology) over a packet trace: trains are split at
+// inter-packet gaps exceeding a threshold, then classified into short and
+// long trains and summarized.
+//
+// Input format: one packet per line, "<time> <bytes>", where <time> is a
+// Go duration (e.g. "150us", "1.2ms") or a plain number of microseconds.
+// Lines starting with '#' are ignored. Reads stdin or the file named by
+// -in. With -demo, analyzes a synthetic trace from the paper's
+// distributions instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tcptrim/internal/sim"
+	"tcptrim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trimtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trimtrace", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "trace file (default stdin)")
+		gap  = fs.Duration("gap", 500*time.Microsecond, "inter-train gap threshold")
+		demo = fs.Bool("demo", false, "analyze a synthetic demo trace")
+		seed = fs.Int64("seed", 1, "seed for -demo")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var trace []workload.PacketRecord
+	var err error
+	switch {
+	case *demo:
+		trace = demoTrace(*seed)
+	case *in != "":
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		trace, err = parseTrace(f)
+	default:
+		trace, err = parseTrace(stdin)
+	}
+	if err != nil {
+		return err
+	}
+	if len(trace) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	trains := workload.SplitTrains(trace, *gap)
+	gaps := workload.Gaps(trains)
+	var pkts, bytes, long int
+	for _, tr := range trains {
+		pkts += tr.Packets
+		bytes += tr.Bytes
+		if tr.IsLong() {
+			long++
+		}
+	}
+	fmt.Fprintf(stdout, "packets:      %d\n", pkts)
+	fmt.Fprintf(stdout, "bytes:        %d\n", bytes)
+	fmt.Fprintf(stdout, "trains:       %d\n", len(trains))
+	fmt.Fprintf(stdout, "long trains:  %d (>= %d packets)\n", long, workload.LongTrainThresholdPackets)
+	if len(trains) > 0 {
+		fmt.Fprintf(stdout, "mean train:   %.1f packets, %.0f bytes\n",
+			float64(pkts)/float64(len(trains)), float64(bytes)/float64(len(trains)))
+	}
+	if len(gaps) > 0 {
+		var sum time.Duration
+		minGap, maxGap := gaps[0], gaps[0]
+		for _, g := range gaps {
+			sum += g
+			if g < minGap {
+				minGap = g
+			}
+			if g > maxGap {
+				maxGap = g
+			}
+		}
+		fmt.Fprintf(stdout, "gaps:         n=%d mean=%v min=%v max=%v\n",
+			len(gaps), (sum / time.Duration(len(gaps))).Round(time.Microsecond),
+			minGap.Round(time.Microsecond), maxGap.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// parseTrace reads "<time> <bytes>" lines.
+func parseTrace(r io.Reader) ([]workload.PacketRecord, error) {
+	var out []workload.PacketRecord
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want \"<time> <bytes>\", got %q", lineNo, line)
+		}
+		at, err := parseInstant(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("line %d: bad byte count %q", lineNo, fields[1])
+		}
+		out = append(out, workload.PacketRecord{At: at, Bytes: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseInstant(s string) (sim.Time, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return sim.At(d), nil
+	}
+	if us, err := strconv.ParseFloat(s, 64); err == nil {
+		return sim.At(time.Duration(us * float64(time.Microsecond))), nil
+	}
+	return 0, fmt.Errorf("bad timestamp %q", s)
+}
+
+// demoTrace synthesizes packet arrivals from the paper's PT size and gap
+// distributions: each train's packets are spaced one serialization time
+// apart at 1 Gbps.
+func demoTrace(seed int64) []workload.PacketRecord {
+	rng := rand.New(rand.NewSource(seed)) //nolint:gosec // demo data
+	var out []workload.PacketRecord
+	at := sim.Time(0)
+	sizes := workload.PTSizes{}
+	gapsDist := workload.PTGaps{}
+	for i := 0; i < 300; i++ {
+		remaining := sizes.Sample(rng)
+		for remaining > 0 {
+			pkt := 1500
+			if remaining < 1460 {
+				pkt = remaining + 40
+			}
+			out = append(out, workload.PacketRecord{At: at, Bytes: pkt})
+			remaining -= pkt - 40
+			at = at.Add(12 * time.Microsecond)
+		}
+		at = at.Add(gapsDist.Sample(rng))
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := strings.NewReader(`
+# comment
+0us 1500
+12us 1500
+5ms 1500
+5.012ms 1000
+`)
+	trace, err := parseTrace(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 4 {
+		t.Fatalf("parsed %d records", len(trace))
+	}
+	if trace[2].At != sim.At(5*time.Millisecond) {
+		t.Errorf("third record at %v", trace[2].At)
+	}
+	if trace[3].Bytes != 1000 {
+		t.Errorf("fourth record bytes %d", trace[3].Bytes)
+	}
+}
+
+func TestParseTraceBareMicroseconds(t *testing.T) {
+	trace, err := parseTrace(strings.NewReader("100 1500\n250.5 40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[0].At != sim.At(100*time.Microsecond) {
+		t.Errorf("record 0 at %v", trace[0].At)
+	}
+	if trace[1].At != sim.At(time.Duration(250.5*float64(time.Microsecond))) {
+		t.Errorf("record 1 at %v", trace[1].At)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"justonefield\n",
+		"10us notanumber\n",
+		"10us -5\n",
+		"whenever 1500\n",
+	} {
+		if _, err := parseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestRunDemo(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo"}, nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"packets:", "trains:", "long trains:", "gaps:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	in := strings.NewReader("0us 1500\n12us 1500\n5ms 1500\n")
+	var sb strings.Builder
+	if err := run(nil, in, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "trains:       2") {
+		t.Errorf("expected 2 trains:\n%s", sb.String())
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("empty trace should error")
+	}
+}
+
+func TestDemoTraceDeterministic(t *testing.T) {
+	a, b := demoTrace(3), demoTrace(3)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+	if c := demoTrace(4); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}

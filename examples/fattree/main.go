@@ -1,0 +1,136 @@
+// Fattree: partition/aggregation traffic on a 4-pod fat-tree, comparing
+// the four data-center transports of the paper's Fig. 12 (TCP, DCTCP,
+// L2DCT, TCP-TRIM).
+//
+// One host per pod acts as a front-end; every other host sends 1 MB to a
+// random front-end as a stream of small objects followed by one large
+// object released simultaneously across the fleet — the incast moment
+// where the inherited congestion windows collide.
+//
+//	go run ./examples/fattree
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"tcptrim"
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/metrics"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/topology"
+)
+
+const (
+	pods       = 4
+	totalBytes = 1 << 20
+	seed       = 7
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fattree:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Printf("%-8s  %10s  %10s  %9s\n", "policy", "mean CT", "max CT", "timeouts")
+	for _, policy := range []struct {
+		name string
+		ecn  bool
+		mk   func() tcptrim.CongestionControl
+	}{
+		{"TCP", false, tcptrim.NewReno},
+		{"DCTCP", true, tcptrim.NewDCTCP},
+		{"L2DCT", true, tcptrim.NewL2DCT},
+		{"TRIM", false, func() tcptrim.CongestionControl {
+			return tcptrim.NewTrim(tcptrim.TrimConfig{BaseRTT: 128 * time.Microsecond})
+		}},
+	} {
+		mean, max, timeouts, err := aggregate(policy.mk, policy.ecn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  %10v  %10v  %9d\n", policy.name,
+			mean.Round(10*time.Microsecond), max.Round(10*time.Microsecond), timeouts)
+	}
+	return nil
+}
+
+func aggregate(mk func() tcptrim.CongestionControl, ecn bool) (mean, max time.Duration, timeouts int, err error) {
+	rng := rand.New(rand.NewSource(seed)) //nolint:gosec // reproducible example
+	sched := tcptrim.NewScheduler()
+	link := tcptrim.LinkConfig{
+		Rate:  10 * tcptrim.Gbps,
+		Delay: 10 * time.Microsecond,
+		Queue: tcptrim.QueueConfig{CapBytes: 350 << 10, ECNThresholdPackets: 65},
+	}
+	ft, err := topology.NewFatTree(sched, pods, link)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	n := len(ft.Hosts)
+	stacks := make([]*tcptrim.Stack, n)
+	for i, h := range ft.Hosts {
+		stacks[i] = tcptrim.NewStack(ft.Net, h)
+	}
+	perPod := n / pods
+	frontEnds := make([]int, pods)
+	for p := range frontEnds {
+		frontEnds[p] = p * perPod
+	}
+	isFE := func(i int) bool { return i%perPod == 0 }
+
+	collector := &httpapp.Collector{}
+	var conns []*tcptrim.Conn
+	for i := range ft.Hosts {
+		if isFE(i) {
+			continue
+		}
+		sink := frontEnds[rng.Intn(len(frontEnds))]
+		conn, err := tcptrim.NewConn(tcptrim.ConnConfig{
+			Sender:   stacks[i],
+			Receiver: stacks[sink],
+			Flow:     netsim.FlowID(i + 1),
+			CC:       mk(),
+			ECN:      ecn,
+			MinRTO:   10 * time.Millisecond,
+			LinkRate: 10 * tcptrim.Gbps,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		conns = append(conns, conn)
+		srv := httpapp.NewServer(sched, conn, fmt.Sprintf("h%d", i), collector)
+		sent := 0
+		at := tcptrim.Time(100 * time.Millisecond)
+		for sent < totalBytes/2 {
+			size := 2048 + rng.Intn(4096)
+			if err := srv.ScheduleResponse(at, size); err != nil {
+				return 0, 0, 0, err
+			}
+			sent += size
+			at = at.Add(time.Duration(rng.ExpFloat64() * float64(100*time.Microsecond)))
+		}
+		if err := srv.ScheduleResponse(tcptrim.Time(500*time.Millisecond), totalBytes-sent); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	sched.RunUntil(tcptrim.Time(5 * time.Second))
+
+	var d metrics.Distribution
+	for _, r := range collector.Responses() {
+		d.AddDuration(r.CompletionTime())
+	}
+	for _, c := range conns {
+		timeouts += c.Stats().Timeouts
+	}
+	return secondsDur(d.Mean()), secondsDur(d.Max()), timeouts, nil
+}
+
+func secondsDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,88 @@
+// Quickstart: the paper's core phenomenon in ~80 lines.
+//
+// Five servers share a 1 Gbps switch with a 100-packet buffer. Each
+// builds up its congestion window with a stream of small HTTP responses,
+// goes idle, and then sends one long response. Plain TCP inherits the
+// stale window and drowns the switch; TCP-TRIM probes first.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tcptrim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, policy := range []string{"TCP", "TCP-TRIM"} {
+		timeouts, completion, err := demo(policy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  long-response completion %8v   timeouts %d\n",
+			policy, completion.Round(100*time.Microsecond), timeouts)
+	}
+	return nil
+}
+
+func demo(policy string) (timeouts int, completion time.Duration, err error) {
+	sched := tcptrim.NewScheduler()
+	star := tcptrim.NewStar(sched, 5, tcptrim.DefaultStarLink(100))
+
+	newCC := func() tcptrim.CongestionControl { return tcptrim.NewReno() }
+	if policy == "TCP-TRIM" {
+		newCC = func() tcptrim.CongestionControl { return tcptrim.NewTrim(tcptrim.TrimConfig{}) }
+	}
+	fleet, err := tcptrim.NewFleet(star.Net, tcptrim.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC:    newCC,
+		Base: tcptrim.ConnConfig{
+			MinRTO:   200 * time.Millisecond,
+			LinkRate: tcptrim.Gbps,
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Phase 1: 200 small responses per server, 1 ms apart, growing the
+	// congestion windows without ever congesting the switch.
+	for _, srv := range fleet.Servers {
+		for i := 0; i < 200; i++ {
+			at := tcptrim.Time(time.Duration(100+i) * time.Millisecond)
+			if err := srv.ScheduleResponse(at, 6000); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+
+	// Phase 2: after ~100 ms of idle, every server sends a 200 KB
+	// response at the same instant.
+	var worst time.Duration
+	for _, srv := range fleet.Servers {
+		conn := srv.Conn()
+		if _, err := sched.At(tcptrim.Time(400*time.Millisecond), func() {
+			conn.SendTrain(200<<10, func(r tcptrim.TrainResult) {
+				if ct := r.CompletionTime(); ct > worst {
+					worst = ct
+				}
+			})
+		}); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	sched.RunUntil(tcptrim.Time(2 * time.Second))
+	return fleet.TotalTimeouts(), worst, nil
+}

@@ -1,0 +1,84 @@
+// Tracing: observe a single connection's lifecycle through the trace
+// recorder — the inherited-window story of Fig. 4, event by event.
+//
+// A persistent connection grows its window with small responses, idles,
+// then sends a long response. With plain TCP the trace shows the burst,
+// the dup-ACK storm, the recoveries, and the timeout; with TCP-TRIM it
+// shows a quiet probe exchange instead.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tcptrim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, policy := range []string{"TCP", "TCP-TRIM"} {
+		rec, err := traceRun(policy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  %s\n", policy, rec.Summary())
+		// Show the first few events after the long train's release.
+		shown := 0
+		for _, ev := range rec.Events() {
+			if ev.At < tcptrim.Time(400*time.Millisecond) || shown >= 6 {
+				continue
+			}
+			shown++
+			fmt.Printf("  %-12v %-14s cwnd=%-7.1f flight=%d\n",
+				ev.At, ev.Kind, ev.Cwnd, ev.Flight)
+		}
+	}
+	return nil
+}
+
+func traceRun(policy string) (*tcptrim.Recorder, error) {
+	sched := tcptrim.NewScheduler()
+	star := tcptrim.NewStar(sched, 2, tcptrim.DefaultStarLink(40))
+	rec := tcptrim.NewRecorder(0)
+
+	var ccPolicy tcptrim.CongestionControl = tcptrim.NewReno()
+	if policy == "TCP-TRIM" {
+		ccPolicy = tcptrim.NewTrim(tcptrim.TrimConfig{})
+	}
+	conn, err := tcptrim.NewConn(tcptrim.ConnConfig{
+		Sender:   tcptrim.NewStack(star.Net, star.Senders[0]),
+		Receiver: tcptrim.NewStack(star.Net, star.FrontEnd),
+		Flow:     1,
+		CC:       ccPolicy,
+		MinRTO:   200 * time.Millisecond,
+		LinkRate: tcptrim.Gbps,
+		Observer: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Window growth phase: small responses every millisecond.
+	for i := 0; i < 250; i++ {
+		at := tcptrim.Time(time.Duration(100+i) * time.Millisecond)
+		if _, err := sched.At(at, func() { conn.SendTrain(6000, nil) }); err != nil {
+			return nil, err
+		}
+	}
+	// Idle, then the long response.
+	if _, err := sched.At(tcptrim.Time(400*time.Millisecond), func() {
+		conn.SendTrain(300<<10, nil)
+	}); err != nil {
+		return nil, err
+	}
+	sched.RunUntil(tcptrim.Time(2 * time.Second))
+	return rec, nil
+}

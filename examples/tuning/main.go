@@ -1,0 +1,80 @@
+// Tuning: explore the paper's Eq. 22 guideline for the delay threshold K.
+//
+// Five TCP-TRIM flows share a 1 Gbps bottleneck. The program sweeps K
+// around the guideline value K* and prints the trade-off the analysis in
+// Section III.B predicts: below K* the link is underutilized; above it,
+// utilization is already full and extra K only buys standing queue.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tcptrim"
+	"tcptrim/internal/metrics"
+)
+
+const (
+	flows   = 5
+	baseRTT = 225 * time.Microsecond // queue-free RTT of the star
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tuning:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kStar := tcptrim.GuidelineKForLink(tcptrim.Gbps, 1500, baseRTT)
+	fmt.Printf("guideline K* = %v for C = 1 Gbps, D = %v\n\n", kStar.Round(time.Microsecond), baseRTT)
+	fmt.Printf("%6s  %10s  %12s  %10s  %6s\n", "K/K*", "K", "utilization", "avg queue", "drops")
+	for _, factor := range []float64{0.25, 0.5, 1, 2, 4} {
+		k := time.Duration(factor * float64(kStar))
+		util, queue, drops, err := measure(k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6.2f  %10v  %11.1f%%  %10.1f  %6d\n",
+			factor, k.Round(time.Microsecond), util*100, queue, drops)
+	}
+	return nil
+}
+
+func measure(k time.Duration) (utilization, avgQueue float64, drops int, err error) {
+	sched := tcptrim.NewScheduler()
+	star := tcptrim.NewStar(sched, flows, tcptrim.DefaultStarLink(100))
+	fleet, err := tcptrim.NewFleet(star.Net, tcptrim.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC: func() tcptrim.CongestionControl {
+			return tcptrim.NewTrim(tcptrim.TrimConfig{K: k, BaseRTT: baseRTT})
+		},
+		Base: tcptrim.ConnConfig{
+			MinRTO:   10 * time.Millisecond,
+			LinkRate: tcptrim.Gbps,
+		},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start, stop := tcptrim.Time(100*time.Millisecond), tcptrim.Time(900*time.Millisecond)
+	for _, srv := range fleet.Servers {
+		if err := srv.StartBackgroundFlow(start, 1<<30); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	queue := star.Bottleneck.Queue()
+	series := metrics.Sample(sched, start, stop, 100*time.Microsecond,
+		func() float64 { return float64(queue.Len()) })
+	sched.RunUntil(stop)
+
+	window := stop.Sub(start).Seconds()
+	goodput := float64(fleet.TotalDelivered()) * 8 / window
+	ceiling := float64(tcptrim.Gbps) * 1460 / 1500
+	return goodput / ceiling, series.Mean(), queue.Stats().Dropped, nil
+}

@@ -1,0 +1,94 @@
+// Webservice: the Section IV.D web-service scenario.
+//
+// Four back-end servers send 1000 HTTP responses each to a front-end
+// over 1 Gbps links, with response sizes and think times drawn from the
+// paper's measured distributions (Fig. 2). The program compares CUBIC,
+// Reno, and TCP-TRIM on average and tail response completion time.
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"tcptrim"
+	"tcptrim/internal/metrics"
+	"tcptrim/internal/workload"
+)
+
+const (
+	servers       = 4
+	responsesEach = 1000
+	seed          = 42
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webservice:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Printf("%-8s  %10s  %10s  %10s  %12s\n", "policy", "ARCT", "P99", "max", "frac<=25ms")
+	for _, policy := range []struct {
+		name string
+		mk   func() tcptrim.CongestionControl
+	}{
+		{"CUBIC", tcptrim.NewCubic},
+		{"Reno", tcptrim.NewReno},
+		{"TRIM", func() tcptrim.CongestionControl { return tcptrim.NewTrim(tcptrim.TrimConfig{}) }},
+	} {
+		d, err := serve(policy.mk)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  %10v  %10v  %10v  %11.1f%%\n",
+			policy.name,
+			seconds(d.Mean()), seconds(d.Percentile(99)), seconds(d.Max()),
+			100*d.FractionBelow((25*time.Millisecond).Seconds()))
+	}
+	return nil
+}
+
+func serve(mk func() tcptrim.CongestionControl) (*metrics.Distribution, error) {
+	rng := rand.New(rand.NewSource(seed)) //nolint:gosec // reproducible example
+	sched := tcptrim.NewScheduler()
+	star := tcptrim.NewStar(sched, servers, tcptrim.DefaultStarLink(100))
+	fleet, err := tcptrim.NewFleet(star.Net, tcptrim.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC:    mk,
+		Base: tcptrim.ConnConfig{
+			MinRTO:   200 * time.Millisecond,
+			LinkRate: tcptrim.Gbps,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, srv := range fleet.Servers {
+		trains := workload.ScheduleCount(rng, tcptrim.Time(100*time.Millisecond),
+			responsesEach, workload.PTSizes{}, workload.PTGaps{})
+		if err := srv.ScheduleTrains(trains); err != nil {
+			return nil, err
+		}
+	}
+	sched.RunUntil(tcptrim.Time(60 * time.Second))
+
+	var d metrics.Distribution
+	for _, r := range fleet.Collector.Responses() {
+		d.AddDuration(r.CompletionTime())
+	}
+	if got := d.Count(); got != servers*responsesEach {
+		return nil, fmt.Errorf("only %d of %d responses completed", got, servers*responsesEach)
+	}
+	return &d, nil
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond)
+}

@@ -1,0 +1,72 @@
+package tcptrim_test
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	sched := tcptrim.NewScheduler()
+	star := tcptrim.NewStar(sched, 3, tcptrim.DefaultStarLink(100))
+	fleet, err := tcptrim.NewFleet(star.Net, tcptrim.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC: func() tcptrim.CongestionControl {
+			return tcptrim.NewTrim(tcptrim.TrimConfig{})
+		},
+		Base: tcptrim.ConnConfig{LinkRate: tcptrim.Gbps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for _, srv := range fleet.Servers {
+		conn := srv.Conn()
+		if _, err := sched.At(tcptrim.Time(time.Millisecond), func() {
+			conn.SendTrain(50<<10, func(tcptrim.TrainResult) { done++ })
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(tcptrim.Time(time.Second))
+	if done != 3 {
+		t.Fatalf("completed %d of 3 transfers", done)
+	}
+	if fleet.TotalTimeouts() != 0 {
+		t.Errorf("timeouts = %d", fleet.TotalTimeouts())
+	}
+}
+
+// TestFacadePolicyConstructors verifies every exported policy constructor
+// yields a working, named policy.
+func TestFacadePolicyConstructors(t *testing.T) {
+	policies := map[string]tcptrim.CongestionControl{
+		"TCP":      tcptrim.NewReno(),
+		"TCP-TRIM": tcptrim.NewTrim(tcptrim.TrimConfig{}),
+		"CUBIC":    tcptrim.NewCubic(),
+		"DCTCP":    tcptrim.NewDCTCP(),
+		"L2DCT":    tcptrim.NewL2DCT(),
+		"GIP":      tcptrim.NewGIP(),
+		"Vegas":    tcptrim.NewVegas(),
+		"D2TCP":    tcptrim.NewD2TCP(tcptrim.Time(time.Second), 1<<20),
+	}
+	for want, p := range policies {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestFacadeGuidelineK(t *testing.T) {
+	k := tcptrim.GuidelineKForLink(tcptrim.Gbps, 1500, 225*time.Microsecond)
+	if k < 225*time.Microsecond || k > time.Millisecond {
+		t.Errorf("GuidelineK = %v", k)
+	}
+	if tcptrim.GuidelineK(83333, 225*time.Microsecond) != k {
+		t.Error("GuidelineK and GuidelineKForLink disagree")
+	}
+}

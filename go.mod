@@ -1,0 +1,3 @@
+module tcptrim
+
+go 1.22

@@ -1,0 +1,373 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+// fakeCtl mirrors the minimal Control used in core's tests.
+type fakeCtl struct {
+	sched    *sim.Scheduler
+	cwnd     float64
+	ssthresh float64
+	minCwnd  float64
+	flight   int
+	srtt     time.Duration
+	susp     bool
+	bonus    int
+	gap      time.Duration
+	hasSent  bool
+	rate     netsim.Bitrate
+}
+
+var _ tcp.Control = (*fakeCtl)(nil)
+
+func newFakeCtl() *fakeCtl {
+	return &fakeCtl{sched: sim.NewScheduler(), cwnd: 10, ssthresh: 1 << 30, minCwnd: 2}
+}
+
+func (f *fakeCtl) Now() sim.Time { return f.sched.Now() }
+func (f *fakeCtl) After(d time.Duration, fn func()) *sim.Timer {
+	return f.sched.After(d, fn)
+}
+func (f *fakeCtl) Cwnd() float64 { return f.cwnd }
+func (f *fakeCtl) SetCwnd(w float64) {
+	if w < f.minCwnd {
+		w = f.minCwnd
+	}
+	f.cwnd = w
+}
+func (f *fakeCtl) Ssthresh() float64                    { return f.ssthresh }
+func (f *fakeCtl) SetSsthresh(w float64)                { f.ssthresh = w }
+func (f *fakeCtl) MinCwnd() float64                     { return f.minCwnd }
+func (f *fakeCtl) FlightSegs() int                      { return f.flight }
+func (f *fakeCtl) SRTT() time.Duration                  { return f.srtt }
+func (f *fakeCtl) SinceLastSend() (time.Duration, bool) { return f.gap, f.hasSent }
+func (f *fakeCtl) Suspend()                             { f.susp = true }
+func (f *fakeCtl) Resume()                              { f.susp = false }
+func (f *fakeCtl) AllowBeyondWindow(n int)              { f.bonus = n }
+func (f *fakeCtl) LinkRate() netsim.Bitrate             { return f.rate }
+func (f *fakeCtl) WirePacketSize() int                  { return 1500 }
+
+func ackSegs(n int, ece bool, ack int64) tcp.AckEvent {
+	return tcp.AckEvent{Ack: ack, AckedBytes: int64(n) * 1460, AckedSegs: n, RTT: 100 * time.Microsecond, ECE: ece}
+}
+
+// --- DCTCP ---------------------------------------------------------------
+
+func TestDCTCPAlphaConvergesToMarkRate(t *testing.T) {
+	ctl := newFakeCtl()
+	ctl.ssthresh = 1 // CA, growth negligible
+	d := NewDCTCP()
+	d.Attach(ctl)
+
+	// All ACKs marked: α should converge toward 1.
+	var ack int64
+	for i := 0; i < 300; i++ {
+		ack += 1460
+		d.OnAck(ackSegs(1, true, ack))
+	}
+	if d.Alpha() < 0.8 {
+		t.Errorf("alpha = %v after sustained marking, want → 1", d.Alpha())
+	}
+
+	// Then no marks: α decays toward 0.
+	for i := 0; i < 600; i++ {
+		ack += 1460
+		d.OnAck(ackSegs(1, false, ack))
+	}
+	if d.Alpha() > 0.2 {
+		t.Errorf("alpha = %v after mark-free period, want → 0", d.Alpha())
+	}
+}
+
+func TestDCTCPGentleCutScalesWithAlpha(t *testing.T) {
+	ctl := newFakeCtl()
+	ctl.ssthresh = 1
+	d := NewDCTCP()
+	d.Attach(ctl)
+
+	// Prime α to ~1 with fully marked windows.
+	var ack int64
+	for i := 0; i < 400; i++ {
+		ack += 1460
+		d.OnAck(ackSegs(1, true, ack))
+	}
+	// With α≈1 one marked window cuts the window by at most half (the
+	// DCTCP worst case = Reno). Feed ACKs until the first cut after
+	// inflating cwnd and verify its depth is a single (1−α/2) factor.
+	ctl.cwnd = 100
+	before := ctl.cwnd
+	for i := 0; i < 300 && ctl.cwnd >= before; i++ {
+		ack += 1460
+		d.OnAck(ackSegs(1, true, ack))
+		if ctl.cwnd > before {
+			before = ctl.cwnd // CA growth before the boundary
+		}
+	}
+	if ctl.cwnd >= before {
+		t.Fatal("no cut happened despite sustained marking")
+	}
+	ratio := ctl.cwnd / before
+	if ratio < 0.45 || ratio > 0.75 {
+		t.Errorf("single-window cut ratio = %v, want ≈ 1−α/2 with α≈1", ratio)
+	}
+}
+
+func TestDCTCPNoECENoCut(t *testing.T) {
+	ctl := newFakeCtl()
+	ctl.ssthresh = 1
+	d := NewDCTCP()
+	d.Attach(ctl)
+	ctl.cwnd = 50
+	var ack int64
+	for i := 0; i < 200; i++ {
+		ack += 1460
+		d.OnAck(ackSegs(1, false, ack))
+	}
+	if ctl.cwnd < 50 {
+		t.Errorf("cwnd shrank without any ECE: %v", ctl.cwnd)
+	}
+}
+
+func TestDCTCPLossFallsBackToReno(t *testing.T) {
+	ctl := newFakeCtl()
+	d := NewDCTCP()
+	d.Attach(ctl)
+	ctl.flight = 40
+	if got := d.SsthreshAfterLoss(); got != 20 {
+		t.Errorf("SsthreshAfterLoss = %v, want flight/2", got)
+	}
+}
+
+// --- L2DCT ---------------------------------------------------------------
+
+func TestL2DCTWeightDecaysWithAttainedService(t *testing.T) {
+	ctl := newFakeCtl()
+	l := NewL2DCT()
+	l.Attach(ctl)
+	if w := l.Weight(); w != L2DCTWMax {
+		t.Errorf("fresh flow weight = %v, want max", w)
+	}
+	l.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1 << 20}) // 1 MiB sent
+	mid := l.Weight()
+	if mid >= L2DCTWMax || mid <= L2DCTWMin {
+		t.Errorf("1MiB flow weight = %v, want strictly between bounds", mid)
+	}
+	l.OnSent(tcp.SendEvent{Seq: 1 << 20, EndSeq: 64 << 20})
+	if w := l.Weight(); w != L2DCTWMin {
+		t.Errorf("64MiB flow weight = %v, want min", w)
+	}
+}
+
+func TestL2DCTRetransmitNotCountedAsService(t *testing.T) {
+	ctl := newFakeCtl()
+	l := NewL2DCT()
+	l.Attach(ctl)
+	l.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1 << 20, Retransmit: true})
+	if w := l.Weight(); w != L2DCTWMax {
+		t.Errorf("retransmissions changed the weight: %v", w)
+	}
+}
+
+func TestL2DCTShortFlowGrowsFasterThanLong(t *testing.T) {
+	grow := func(sent int64) float64 {
+		ctl := newFakeCtl()
+		ctl.ssthresh = 1 // CA
+		ctl.cwnd = 10
+		l := NewL2DCT()
+		l.Attach(ctl)
+		l.sentBytes = sent
+		var ack int64
+		for i := 0; i < 100; i++ {
+			ack += 1460
+			l.OnAck(ackSegs(1, false, ack))
+		}
+		return ctl.cwnd
+	}
+	short := grow(0)
+	long := grow(64 << 20)
+	if short <= long {
+		t.Errorf("short-flow growth %v should exceed long-flow growth %v", short, long)
+	}
+}
+
+func TestL2DCTLongFlowBacksOffHarder(t *testing.T) {
+	cut := func(sent int64) float64 {
+		ctl := newFakeCtl()
+		ctl.ssthresh = 1
+		l := NewL2DCT()
+		l.Attach(ctl)
+		l.sentBytes = sent
+		// Prime alpha high.
+		var ack int64
+		for i := 0; i < 400; i++ {
+			ack += 1460
+			l.OnAck(ackSegs(1, true, ack))
+		}
+		ctl.cwnd = 100
+		before := ctl.cwnd
+		for i := 0; i < 120; i++ {
+			ack += 1460
+			l.OnAck(ackSegs(1, true, ack))
+		}
+		return ctl.cwnd / before
+	}
+	shortRatio := cut(0)
+	longRatio := cut(64 << 20)
+	if longRatio >= shortRatio {
+		t.Errorf("long flows must back off harder: short keeps %v, long keeps %v",
+			shortRatio, longRatio)
+	}
+}
+
+// --- CUBIC ---------------------------------------------------------------
+
+func TestCubicBetaBackoff(t *testing.T) {
+	ctl := newFakeCtl()
+	c := NewCubic()
+	c.Attach(ctl)
+	ctl.cwnd = 100
+	if got := c.SsthreshAfterLoss(); got != 70 {
+		t.Errorf("SsthreshAfterLoss = %v, want 100×0.7", got)
+	}
+}
+
+func TestCubicGrowsTowardWMax(t *testing.T) {
+	ctl := newFakeCtl()
+	c := NewCubic()
+	c.Attach(ctl)
+	ctl.cwnd = 100
+	ctl.ssthresh = 1 << 30
+	_ = c.SsthreshAfterLoss() // wMax=100, epoch reset
+	ctl.cwnd = 70
+	ctl.ssthresh = 70 // in CA
+
+	// Feed ACKs while advancing virtual time. With wMax=100 and
+	// cwnd=70, K = ∛((100−70)/0.4) ≈ 4.2 s; after ~4.5 s the curve
+	// should have recovered to ≈ wMax.
+	var ack int64
+	mid := 0.0
+	for step := 0; step < 9000; step++ {
+		ctl.sched.After(500*time.Microsecond, func() {})
+		ctl.sched.Run()
+		ack += 1460
+		c.OnAck(tcp.AckEvent{Ack: ack, AckedSegs: 1, RTT: 500 * time.Microsecond})
+		if step == 2000 {
+			mid = ctl.cwnd
+		}
+	}
+	if mid < 80 || mid > 100 {
+		t.Errorf("cwnd = %v at 1s, want concave progress toward wMax", mid)
+	}
+	if ctl.cwnd < 95 {
+		t.Errorf("cwnd = %v after ~4.5s, want ≈ wMax=100", ctl.cwnd)
+	}
+}
+
+func TestCubicSlowStartUnchanged(t *testing.T) {
+	ctl := newFakeCtl()
+	c := NewCubic()
+	c.Attach(ctl)
+	ctl.cwnd, ctl.ssthresh = 2, 64
+	c.OnAck(tcp.AckEvent{Ack: 1460, AckedSegs: 1, RTT: 100 * time.Microsecond})
+	if ctl.cwnd != 3 {
+		t.Errorf("slow start growth = %v, want +1/ack", ctl.cwnd)
+	}
+}
+
+// --- GIP -----------------------------------------------------------------
+
+func TestGIPResetsWindowOnGap(t *testing.T) {
+	ctl := newFakeCtl()
+	g := NewGIP()
+	g.Attach(ctl)
+	ctl.cwnd = 500
+	ctl.srtt = 200 * time.Microsecond
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	g.BeforeSend()
+	if ctl.cwnd != 2 {
+		t.Errorf("cwnd = %v after gap, want unconditional restart at 2", ctl.cwnd)
+	}
+	if ctl.ssthresh != 250 {
+		t.Errorf("ssthresh = %v, want half the old window", ctl.ssthresh)
+	}
+	if g.Resets() != 1 {
+		t.Errorf("Resets = %d", g.Resets())
+	}
+}
+
+func TestGIPIgnoresShortGap(t *testing.T) {
+	ctl := newFakeCtl()
+	g := NewGIP()
+	g.Attach(ctl)
+	ctl.cwnd = 500
+	ctl.srtt = 200 * time.Microsecond
+	ctl.hasSent, ctl.gap = true, 100*time.Microsecond
+	g.BeforeSend()
+	if ctl.cwnd != 500 {
+		t.Errorf("cwnd = %v, short gap must not reset", ctl.cwnd)
+	}
+}
+
+// --- Integration: DCTCP keeps the queue near K ---------------------------
+
+func TestDCTCPIntegrationBoundsQueue(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.NewNetwork(sched)
+	link := netsim.LinkConfig{
+		Rate:  netsim.Gbps,
+		Delay: 50 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 200, ECNThresholdPackets: 20},
+	}
+	hs := net.AddHost("s")
+	sw := net.AddSwitch("sw")
+	hr := net.AddHost("r")
+	net.Connect(hs, sw, link)
+	up, _ := net.Connect(sw, hr, link)
+	conn, err := tcp.NewConn(tcp.Config{
+		Sender:   tcp.NewStack(net, hs),
+		Receiver: tcp.NewStack(net, hr),
+		Flow:     1,
+		CC:       NewDCTCP(),
+		ECN:      true,
+		MinRTO:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SendTrain(50_000*tcp.DefaultMSS, nil)
+
+	// Sample the bottleneck queue after convergence.
+	maxLen := 0
+	for at := 100 * time.Millisecond; at <= 500*time.Millisecond; at += time.Millisecond {
+		at := at
+		if _, err := sched.At(sim.At(at), func() {
+			if l := up.Queue().Len(); l > maxLen {
+				maxLen = l
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(sim.At(500 * time.Millisecond))
+
+	if drops := up.Queue().Stats().Dropped; drops != 0 {
+		t.Errorf("DCTCP dropped %d packets with a 200-deep queue", drops)
+	}
+	if maxLen > 60 {
+		t.Errorf("queue peaked at %d, want bounded near the K=20 threshold", maxLen)
+	}
+	if conn.Stats().Timeouts != 0 {
+		t.Errorf("timeouts = %d", conn.Stats().Timeouts)
+	}
+	// Goodput should still be near line rate.
+	gbps := float64(conn.DeliveredBytes()) * 8 / 0.5 / 1e9
+	if gbps < 0.85 {
+		t.Errorf("goodput = %.3f Gbps, want near line rate", gbps)
+	}
+}

@@ -1,0 +1,127 @@
+package cc
+
+import (
+	"math"
+
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+// CUBIC constants per RFC 8312: scaling C = 0.4, multiplicative decrease
+// β = 0.7.
+const (
+	CubicC    = 0.4
+	CubicBeta = 0.7
+)
+
+// Cubic implements CUBIC congestion control (the Linux default, used by
+// the paper's testbed baseline in Fig. 13). Window growth in congestion
+// avoidance follows W(t) = C·(t−K)³ + Wmax with the TCP-friendly region
+// of RFC 8312; slow start is standard.
+type Cubic struct {
+	ctl tcp.Control
+
+	wMax       float64
+	epochStart sim.Time
+	inEpoch    bool
+	k          float64 // seconds
+	originW    float64
+
+	// TCP-friendly estimate state.
+	wEst      float64
+	ackedSegs float64
+}
+
+var _ tcp.CongestionControl = (*Cubic)(nil)
+
+// NewCubic returns a CUBIC policy.
+func NewCubic() *Cubic { return &Cubic{} }
+
+// Name implements tcp.CongestionControl.
+func (c *Cubic) Name() string { return "CUBIC" }
+
+// Attach implements tcp.CongestionControl.
+func (c *Cubic) Attach(ctl tcp.Control) { c.ctl = ctl }
+
+// BeforeSend implements tcp.CongestionControl.
+func (c *Cubic) BeforeSend() {}
+
+// OnSent implements tcp.CongestionControl.
+func (c *Cubic) OnSent(tcp.SendEvent) bool { return false }
+
+// OnAck implements tcp.CongestionControl.
+func (c *Cubic) OnAck(ev tcp.AckEvent) {
+	if ev.InRecovery {
+		return
+	}
+	cwnd := c.ctl.Cwnd()
+	if cwnd < c.ctl.Ssthresh() {
+		c.ctl.SetCwnd(cwnd + float64(ev.AckedSegs))
+		return
+	}
+	if !c.inEpoch {
+		c.startEpoch(cwnd)
+	}
+	t := c.ctl.Now().Sub(c.epochStart).Seconds() + ev.RTT.Seconds()
+	target := c.originW + CubicC*math.Pow(t-c.k, 3)
+
+	// TCP-friendly region (simplified RFC 8312 Reno emulation).
+	c.ackedSegs += float64(ev.AckedSegs)
+	if c.wEst < cwnd {
+		c.wEst = cwnd
+	}
+	c.wEst += 3 * (1 - CubicBeta) / (1 + CubicBeta) * c.ackedSegs / cwnd
+	c.ackedSegs = 0
+	if target < c.wEst {
+		target = c.wEst
+	}
+
+	if target > cwnd {
+		// Approach the target over roughly one RTT of ACKs.
+		c.ctl.SetCwnd(cwnd + (target-cwnd)/cwnd*float64(ev.AckedSegs))
+	} else {
+		// Slow drift upward in the concave plateau.
+		c.ctl.SetCwnd(cwnd + 0.01*float64(ev.AckedSegs)/cwnd)
+	}
+}
+
+func (c *Cubic) startEpoch(cwnd float64) {
+	c.inEpoch = true
+	c.epochStart = c.ctl.Now()
+	c.originW = cwnd
+	if c.wMax > cwnd {
+		c.k = math.Cbrt((c.wMax - cwnd) / CubicC)
+		c.originW = c.wMax
+	} else {
+		c.k = 0
+	}
+	c.wEst = cwnd
+}
+
+// OnDupAck implements tcp.CongestionControl.
+func (c *Cubic) OnDupAck() {}
+
+// SsthreshAfterLoss implements tcp.CongestionControl: β-scaled window,
+// starting a new cubic epoch.
+func (c *Cubic) SsthreshAfterLoss() float64 {
+	cwnd := c.ctl.Cwnd()
+	// Fast convergence (RFC 8312 §4.6).
+	if cwnd < c.wMax {
+		c.wMax = cwnd * (1 + CubicBeta) / 2
+	} else {
+		c.wMax = cwnd
+	}
+	c.inEpoch = false
+	target := cwnd * CubicBeta
+	if minW := c.ctl.MinCwnd(); target < minW {
+		return minW
+	}
+	return target
+}
+
+// OnTimeout implements tcp.CongestionControl: restart the epoch from the
+// minimum window.
+func (c *Cubic) OnTimeout() {
+	c.wMax = c.ctl.Cwnd()
+	c.inEpoch = false
+}

@@ -1,0 +1,150 @@
+package cc
+
+import (
+	"math"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+// D2TCP deadline-urgency bounds from Vamanan et al. (SIGCOMM'12): the
+// urgency exponent d is clamped to [0.5, 2].
+const (
+	D2TCPMinUrgency = 0.5
+	D2TCPMaxUrgency = 2.0
+)
+
+// D2TCP implements Deadline-Aware Datacenter TCP, an extension the paper
+// discusses in related work: DCTCP's ECN machinery with a deadline-aware
+// penalty. On a marked window the back-off is cwnd × (1 − p/2) with
+// p = α^d, where the urgency d compares the time the flow still needs
+// (at its current rate) against the time its deadline leaves: far-deadline
+// flows (d < 1) back off harder and release bandwidth to near-deadline
+// flows (d > 1), which back off more gently.
+//
+// A D2TCP policy is created per flow with its deadline and expected size;
+// flows without a deadline behave exactly like DCTCP (d = 1).
+type D2TCP struct {
+	ctl  tcp.Control
+	gain float64
+
+	alpha      float64
+	ackedSegs  int
+	markedSegs int
+	windowEnd  int64
+	ceInWindow bool
+	mss        int
+
+	deadline   sim.Time
+	totalBytes int64
+	ackedBytes int64
+	started    bool
+	startAt    sim.Time
+}
+
+var _ tcp.CongestionControl = (*D2TCP)(nil)
+
+// NewD2TCP returns a deadline-aware policy for a flow of totalBytes that
+// must complete by the given absolute instant. A zero deadline or
+// non-positive size disables urgency (pure DCTCP behaviour).
+func NewD2TCP(deadline sim.Time, totalBytes int) *D2TCP {
+	return &D2TCP{
+		gain:       DefaultDCTCPGain,
+		deadline:   deadline,
+		totalBytes: int64(totalBytes),
+	}
+}
+
+// Name implements tcp.CongestionControl.
+func (d *D2TCP) Name() string { return "D2TCP" }
+
+// Attach implements tcp.CongestionControl.
+func (d *D2TCP) Attach(ctl tcp.Control) {
+	d.ctl = ctl
+	d.mss = ctl.WirePacketSize() - netsim.HeaderSize
+}
+
+// Alpha returns the marked-fraction estimate.
+func (d *D2TCP) Alpha() float64 { return d.alpha }
+
+// Urgency returns the current deadline-urgency exponent d.
+func (d *D2TCP) Urgency() float64 {
+	if d.deadline <= 0 || d.totalBytes <= 0 || !d.started {
+		return 1
+	}
+	now := d.ctl.Now()
+	remainingBytes := d.totalBytes - d.ackedBytes
+	if remainingBytes <= 0 {
+		return 1
+	}
+	timeLeft := d.deadline.Sub(now)
+	if timeLeft <= 0 {
+		// Deadline already missed: maximum urgency.
+		return D2TCPMaxUrgency
+	}
+	elapsed := now.Sub(d.startAt)
+	if elapsed <= 0 || d.ackedBytes == 0 {
+		return 1
+	}
+	// Time still needed at the achieved average rate.
+	rate := float64(d.ackedBytes) / elapsed.Seconds() // bytes/s
+	needed := time.Duration(float64(remainingBytes) / rate * float64(time.Second))
+	u := float64(needed) / float64(timeLeft)
+	if u < D2TCPMinUrgency {
+		return D2TCPMinUrgency
+	}
+	if u > D2TCPMaxUrgency {
+		return D2TCPMaxUrgency
+	}
+	return u
+}
+
+// BeforeSend implements tcp.CongestionControl.
+func (d *D2TCP) BeforeSend() {}
+
+// OnSent implements tcp.CongestionControl.
+func (d *D2TCP) OnSent(ev tcp.SendEvent) bool {
+	if !d.started && !ev.Retransmit {
+		d.started = true
+		d.startAt = d.ctl.Now()
+	}
+	return false
+}
+
+// OnAck implements tcp.CongestionControl.
+func (d *D2TCP) OnAck(ev tcp.AckEvent) {
+	tcp.GrowReno(d.ctl, ev)
+	d.ackedBytes += ev.AckedBytes
+
+	d.ackedSegs += ev.AckedSegs
+	if ev.ECE {
+		d.markedSegs += ev.AckedSegs
+		d.ceInWindow = true
+	}
+	if ev.Ack < d.windowEnd {
+		return
+	}
+	if d.ackedSegs > 0 {
+		f := float64(d.markedSegs) / float64(d.ackedSegs)
+		d.alpha = (1-d.gain)*d.alpha + d.gain*f
+	}
+	if d.ceInWindow {
+		p := math.Pow(d.alpha, d.Urgency())
+		cut := d.ctl.Cwnd() * (1 - p/2)
+		d.ctl.SetCwnd(cut)
+		d.ctl.SetSsthresh(cut)
+	}
+	d.ackedSegs, d.markedSegs, d.ceInWindow = 0, 0, false
+	d.windowEnd = ev.Ack + int64(d.ctl.Cwnd()*float64(d.mss))
+}
+
+// OnDupAck implements tcp.CongestionControl.
+func (d *D2TCP) OnDupAck() {}
+
+// SsthreshAfterLoss implements tcp.CongestionControl.
+func (d *D2TCP) SsthreshAfterLoss() float64 { return tcp.HalfWindow(d.ctl) }
+
+// OnTimeout implements tcp.CongestionControl.
+func (d *D2TCP) OnTimeout() {}

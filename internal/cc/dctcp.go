@@ -1,0 +1,98 @@
+// Package cc implements the congestion-control variants the paper
+// compares against: DCTCP (SIGCOMM'10), L2DCT (INFOCOM'13), CUBIC (the
+// Linux default in the testbed experiments), and GIP (ICNP'13, the
+// restart-each-unit-at-minimum-window baseline for the window-inheritance
+// ablation). The baseline Reno lives in package tcp as the default policy.
+package cc
+
+import (
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/tcp"
+)
+
+// DCTCP defaults from Alizadeh et al.: estimation gain g = 1/16. The
+// marking threshold K lives in the switch queue configuration, not here.
+const (
+	DefaultDCTCPGain = 1.0 / 16
+)
+
+// DCTCP implements Data Center TCP: the receiver path echoes CE marks
+// per packet (our receiver ACKs every packet, so the echo is exact), and
+// the sender maintains an EWMA α of the marked fraction, cutting the
+// window by α/2 at most once per window of data.
+//
+// Connections running DCTCP must set tcp.Config.ECN and the bottleneck
+// queues must enable an ECN threshold; otherwise DCTCP degenerates to
+// Reno.
+type DCTCP struct {
+	ctl  tcp.Control
+	gain float64
+
+	alpha      float64
+	ackedSegs  int
+	markedSegs int
+	windowEnd  int64
+	ceInWindow bool
+	mss        int
+}
+
+var _ tcp.CongestionControl = (*DCTCP)(nil)
+
+// NewDCTCP returns a DCTCP policy with the standard gain.
+func NewDCTCP() *DCTCP { return &DCTCP{gain: DefaultDCTCPGain} }
+
+// Name implements tcp.CongestionControl.
+func (d *DCTCP) Name() string { return "DCTCP" }
+
+// Attach implements tcp.CongestionControl.
+func (d *DCTCP) Attach(ctl tcp.Control) {
+	d.ctl = ctl
+	d.mss = ctl.WirePacketSize() - netsim.HeaderSize
+}
+
+// Alpha returns the current marked-fraction estimate.
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// BeforeSend implements tcp.CongestionControl.
+func (d *DCTCP) BeforeSend() {}
+
+// OnSent implements tcp.CongestionControl.
+func (d *DCTCP) OnSent(tcp.SendEvent) bool { return false }
+
+// OnAck implements tcp.CongestionControl.
+func (d *DCTCP) OnAck(ev tcp.AckEvent) {
+	tcp.GrowReno(d.ctl, ev)
+
+	d.ackedSegs += ev.AckedSegs
+	if ev.ECE {
+		d.markedSegs += ev.AckedSegs
+		d.ceInWindow = true
+	}
+	if ev.Ack < d.windowEnd {
+		return
+	}
+	// One observation window of data has been acknowledged: fold the
+	// marked fraction F into α and apply the once-per-window cut.
+	if d.ackedSegs > 0 {
+		f := float64(d.markedSegs) / float64(d.ackedSegs)
+		d.alpha = (1-d.gain)*d.alpha + d.gain*f
+	}
+	if d.ceInWindow {
+		cut := d.ctl.Cwnd() * (1 - d.alpha/2)
+		d.ctl.SetCwnd(cut)
+		d.ctl.SetSsthresh(cut)
+	}
+	d.ackedSegs, d.markedSegs, d.ceInWindow = 0, 0, false
+	d.windowEnd = ev.Ack + int64(d.ctl.Cwnd()*float64(d.mss))
+}
+
+// OnDupAck implements tcp.CongestionControl.
+func (d *DCTCP) OnDupAck() {}
+
+// SsthreshAfterLoss implements tcp.CongestionControl: on real loss DCTCP
+// behaves exactly like Reno.
+func (d *DCTCP) SsthreshAfterLoss() float64 { return tcp.HalfWindow(d.ctl) }
+
+// OnTimeout implements tcp.CongestionControl: α is preserved across
+// timeouts (per the DCTCP paper).
+func (d *DCTCP) OnTimeout() {}

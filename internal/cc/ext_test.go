@@ -1,0 +1,208 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+// --- D2TCP ---------------------------------------------------------------
+
+func TestD2TCPWithoutDeadlineMatchesDCTCP(t *testing.T) {
+	runPolicy := func(p tcp.CongestionControl) float64 {
+		ctl := newFakeCtl()
+		ctl.ssthresh = 1
+		p.Attach(ctl)
+		var ack int64
+		for i := 0; i < 500; i++ {
+			ack += 1460
+			ece := i%3 == 0
+			p.OnAck(ackSegs(1, ece, ack))
+		}
+		return ctl.cwnd
+	}
+	dctcp := runPolicy(NewDCTCP())
+	d2 := runPolicy(NewD2TCP(0, 0)) // no deadline → urgency 1
+	if dctcp != d2 {
+		t.Errorf("deadline-less D2TCP cwnd %v != DCTCP %v", d2, dctcp)
+	}
+}
+
+func TestD2TCPUrgencyBounds(t *testing.T) {
+	ctl := newFakeCtl()
+	d := NewD2TCP(sim.At(10*time.Millisecond), 1<<20)
+	d.Attach(ctl)
+	if got := d.Urgency(); got != 1 {
+		t.Errorf("urgency before start = %v, want neutral 1", got)
+	}
+	d.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	// Advance close to the deadline with almost nothing acked: maximal
+	// urgency, clamped at 2.
+	ctl.sched.After(9*time.Millisecond, func() {})
+	ctl.sched.Run()
+	d.OnAck(tcp.AckEvent{Ack: 1460, AckedBytes: 1460, AckedSegs: 1, RTT: 100 * time.Microsecond})
+	if got := d.Urgency(); got != D2TCPMaxUrgency {
+		t.Errorf("urgency near deadline = %v, want clamp at %v", got, D2TCPMaxUrgency)
+	}
+}
+
+func TestD2TCPFarDeadlineLowUrgency(t *testing.T) {
+	ctl := newFakeCtl()
+	// Huge deadline, tiny flow: urgency clamps at the minimum.
+	d := NewD2TCP(sim.At(time.Hour), 10*1460)
+	d.Attach(ctl)
+	d.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	ctl.sched.After(time.Millisecond, func() {})
+	ctl.sched.Run()
+	d.OnAck(tcp.AckEvent{Ack: 1460, AckedBytes: 1460, AckedSegs: 1, RTT: 100 * time.Microsecond})
+	if got := d.Urgency(); got != D2TCPMinUrgency {
+		t.Errorf("urgency with an hour to spare = %v, want clamp at %v", got, D2TCPMinUrgency)
+	}
+}
+
+func TestD2TCPNearDeadlineCutsLess(t *testing.T) {
+	// With equal alpha, a near-deadline flow (urgency 2) must retain
+	// more window after a marked round than a far-deadline one
+	// (urgency 0.5): p = α^d shrinks as d grows for α < 1.
+	cut := func(deadline sim.Time) float64 {
+		ctl := newFakeCtl()
+		ctl.ssthresh = 1
+		d := NewD2TCP(deadline, 100<<20)
+		d.Attach(ctl)
+		d.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+		// Prime alpha to ≈0.5 with alternating marks.
+		var ack int64
+		for i := 0; i < 400; i++ {
+			ack += 1460
+			d.OnAck(ackSegs(1, i%2 == 0, ack))
+		}
+		// Advance the clock so attained-rate history exists.
+		ctl.sched.After(10*time.Millisecond, func() {})
+		ctl.sched.Run()
+		ctl.cwnd = 100
+		before := ctl.cwnd
+		for i := 0; i < 300 && ctl.cwnd >= before; i++ {
+			ack += 1460
+			d.OnAck(ackSegs(1, true, ack))
+			if ctl.cwnd > before {
+				before = ctl.cwnd
+			}
+		}
+		return ctl.cwnd / before
+	}
+	near := cut(sim.At(11 * time.Millisecond)) // already basically due
+	far := cut(sim.At(time.Hour))
+	if near <= far {
+		t.Errorf("near-deadline keep-ratio %v should exceed far-deadline %v", near, far)
+	}
+}
+
+// --- Vegas ---------------------------------------------------------------
+
+func TestVegasTracksBaseRTT(t *testing.T) {
+	ctl := newFakeCtl()
+	v := NewVegas()
+	v.Attach(ctl)
+	v.OnAck(tcp.AckEvent{Ack: 1460, AckedSegs: 1, RTT: 500 * time.Microsecond})
+	v.OnAck(tcp.AckEvent{Ack: 2920, AckedSegs: 1, RTT: 300 * time.Microsecond})
+	v.OnAck(tcp.AckEvent{Ack: 4380, AckedSegs: 1, RTT: 900 * time.Microsecond})
+	if v.BaseRTT() != 300*time.Microsecond {
+		t.Errorf("BaseRTT = %v", v.BaseRTT())
+	}
+}
+
+func TestVegasBacklogRule(t *testing.T) {
+	step := func(rtt time.Duration, cwnd float64) float64 {
+		ctl := newFakeCtl()
+		ctl.ssthresh = 1 // CA
+		ctl.cwnd = cwnd
+		v := NewVegas()
+		v.Attach(ctl)
+		v.baseRTT = 200 * time.Microsecond
+		v.OnAck(tcp.AckEvent{Ack: 1460, AckedSegs: 1, RTT: rtt})
+		return ctl.cwnd
+	}
+	// diff = cwnd(RTT-base)/RTT. cwnd=10, RTT=210µs: diff ≈ 0.48 < α →
+	// +1.
+	if got := step(210*time.Microsecond, 10); got != 11 {
+		t.Errorf("low backlog: cwnd = %v, want 11", got)
+	}
+	// RTT=300µs: diff = 10×100/300 ≈ 3.3 in [α, β] → hold.
+	if got := step(300*time.Microsecond, 10); got != 10 {
+		t.Errorf("in-band backlog: cwnd = %v, want 10", got)
+	}
+	// RTT=400µs: diff = 10×200/400 = 5 > β → −1.
+	if got := step(400*time.Microsecond, 10); got != 9 {
+		t.Errorf("high backlog: cwnd = %v, want 9", got)
+	}
+}
+
+func TestVegasOneAdjustmentPerRTT(t *testing.T) {
+	ctl := newFakeCtl()
+	ctl.ssthresh = 1
+	ctl.cwnd = 10
+	v := NewVegas()
+	v.Attach(ctl)
+	v.baseRTT = 200 * time.Microsecond
+	// Two low-backlog ACKs at the same instant: only one +1.
+	v.OnAck(tcp.AckEvent{Ack: 1460, AckedSegs: 1, RTT: 210 * time.Microsecond})
+	v.OnAck(tcp.AckEvent{Ack: 2920, AckedSegs: 1, RTT: 210 * time.Microsecond})
+	if ctl.cwnd != 11 {
+		t.Errorf("cwnd = %v, want a single per-RTT adjustment", ctl.cwnd)
+	}
+}
+
+func TestVegasIntegrationKeepsQueueShort(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.NewNetwork(sched)
+	link := netsim.LinkConfig{
+		Rate:  netsim.Gbps,
+		Delay: 50 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 100},
+	}
+	hs := net.AddHost("s")
+	sw := net.AddSwitch("sw")
+	hr := net.AddHost("r")
+	net.Connect(hs, sw, link)
+	upPipe, _ := net.Connect(sw, hr, link)
+	up := upPipe.Queue()
+	conn, err := tcp.NewConn(tcp.Config{
+		Sender:   tcp.NewStack(net, hs),
+		Receiver: tcp.NewStack(net, hr),
+		Flow:     1,
+		CC:       NewVegas(),
+		MinRTO:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SendTrain(50_000*tcp.DefaultMSS, nil)
+	maxQ := 0
+	var probeTick func()
+	probeTick = func() {
+		if l := up.Len(); l > maxQ {
+			maxQ = l
+		}
+		if sched.Now() < sim.At(400*time.Millisecond) {
+			sched.After(time.Millisecond, probeTick)
+		}
+	}
+	sched.After(50*time.Millisecond, probeTick)
+	sched.RunUntil(sim.At(500 * time.Millisecond))
+
+	if conn.Stats().Timeouts != 0 {
+		t.Errorf("Vegas timeouts = %d", conn.Stats().Timeouts)
+	}
+	// Backlog bounded by β plus slack.
+	if maxQ > 10 {
+		t.Errorf("Vegas steady queue = %d packets, want ≈β", maxQ)
+	}
+	// And the link should still be nearly full.
+	gbps := float64(conn.DeliveredBytes()) * 8 / 0.5 / 1e9
+	if gbps < 0.85 {
+		t.Errorf("Vegas goodput = %.3f Gbps", gbps)
+	}
+}

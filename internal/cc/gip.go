@@ -1,0 +1,78 @@
+package cc
+
+import (
+	"time"
+
+	"tcptrim/internal/tcp"
+)
+
+// GIP approximates the window-restart scheme of Zhang et al. (ICNP'13,
+// reference [13] of the paper): every new stripe unit / packet train
+// starts with the minimum congestion window, unconditionally discarding
+// the inherited window. The paper argues this is overly conservative when
+// the network has spare capacity — GIP is the ablation baseline for
+// TCP-TRIM's conditional inheritance.
+//
+// GIP's second mechanism (redundant retransmission of a unit's last
+// packet) is not modeled; it affects tail-loss timeouts, not window
+// inheritance, and is documented as a deviation in DESIGN.md.
+type GIP struct {
+	ctl tcp.Control
+
+	lastResetGap time.Duration
+	resets       int
+}
+
+var _ tcp.CongestionControl = (*GIP)(nil)
+
+// NewGIP returns a GIP policy.
+func NewGIP() *GIP { return &GIP{} }
+
+// Name implements tcp.CongestionControl.
+func (g *GIP) Name() string { return "GIP" }
+
+// Attach implements tcp.CongestionControl.
+func (g *GIP) Attach(ctl tcp.Control) { g.ctl = ctl }
+
+// Resets returns how many times the window was restarted at a train
+// boundary.
+func (g *GIP) Resets() int { return g.resets }
+
+// BeforeSend implements tcp.CongestionControl: on an inter-train gap
+// (idle longer than the smoothed RTT, same detector as TCP-TRIM), restart
+// from the minimum window with slow start.
+func (g *GIP) BeforeSend() {
+	srtt := g.ctl.SRTT()
+	if srtt == 0 {
+		return
+	}
+	gap, sent := g.ctl.SinceLastSend()
+	if !sent || gap <= srtt {
+		return
+	}
+	g.resets++
+	g.lastResetGap = gap
+	// Re-enter slow start toward the old window's midpoint, like a
+	// restarted connection.
+	half := g.ctl.Cwnd() / 2
+	if minW := g.ctl.MinCwnd(); half < minW {
+		half = minW
+	}
+	g.ctl.SetCwnd(g.ctl.MinCwnd())
+	g.ctl.SetSsthresh(half)
+}
+
+// OnSent implements tcp.CongestionControl.
+func (g *GIP) OnSent(tcp.SendEvent) bool { return false }
+
+// OnAck implements tcp.CongestionControl.
+func (g *GIP) OnAck(ev tcp.AckEvent) { tcp.GrowReno(g.ctl, ev) }
+
+// OnDupAck implements tcp.CongestionControl.
+func (g *GIP) OnDupAck() {}
+
+// SsthreshAfterLoss implements tcp.CongestionControl.
+func (g *GIP) SsthreshAfterLoss() float64 { return tcp.HalfWindow(g.ctl) }
+
+// OnTimeout implements tcp.CongestionControl.
+func (g *GIP) OnTimeout() {}

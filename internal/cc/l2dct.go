@@ -1,0 +1,136 @@
+package cc
+
+import (
+	"math"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/tcp"
+)
+
+// L2DCT weighting constants, following the INFOCOM'13 paper's published
+// range: the per-RTT additive-increase weight w_c shrinks from WMax for
+// fresh (short, so far) flows to WMin for flows that have already sent a
+// lot — Least Attained Service emulation on top of DCTCP's ECN estimator.
+const (
+	L2DCTWMax = 2.5
+	L2DCTWMin = 0.125
+	// l2dctSmallBytes / l2dctLargeBytes delimit the size band over which
+	// the weight decays (log-linear). Flows below the small bound get
+	// the full weight; above the large bound the minimum.
+	l2dctSmallBytes = 100 << 10 // 100 KiB
+	l2dctLargeBytes = 10 << 20  // 10 MiB
+)
+
+// L2DCT implements the L2DCT sender: DCTCP's marked-fraction estimator α,
+// with flow-size-aware growth (cwnd += w_c per RTT in congestion
+// avoidance) and back-off (cwnd ×= 1 − α·b/2, where the penalty b grows
+// as the flow's attained service grows). Short flows therefore grab
+// bandwidth quickly and yield little; long flows yield more, emulating
+// LAS scheduling without switch support beyond ECN.
+//
+// The exact constants of the original NS2 implementation are not public;
+// the weight band [WMin, WMax] is the paper's, and the log-linear decay
+// between 100 KiB and 10 MiB is our documented interpolation (see
+// DESIGN.md).
+type L2DCT struct {
+	ctl  tcp.Control
+	gain float64
+
+	alpha      float64
+	ackedSegs  int
+	markedSegs int
+	windowEnd  int64
+	ceInWindow bool
+	mss        int
+
+	sentBytes int64
+}
+
+var _ tcp.CongestionControl = (*L2DCT)(nil)
+
+// NewL2DCT returns an L2DCT policy with the standard DCTCP gain.
+func NewL2DCT() *L2DCT { return &L2DCT{gain: DefaultDCTCPGain} }
+
+// Name implements tcp.CongestionControl.
+func (l *L2DCT) Name() string { return "L2DCT" }
+
+// Attach implements tcp.CongestionControl.
+func (l *L2DCT) Attach(ctl tcp.Control) {
+	l.ctl = ctl
+	l.mss = ctl.WirePacketSize() - netsim.HeaderSize
+}
+
+// Weight returns the current LAS weight w_c for the flow.
+func (l *L2DCT) Weight() float64 {
+	if l.sentBytes <= l2dctSmallBytes {
+		return L2DCTWMax
+	}
+	if l.sentBytes >= l2dctLargeBytes {
+		return L2DCTWMin
+	}
+	// Log-linear decay between the two bounds.
+	frac := math.Log(float64(l.sentBytes)/float64(l2dctSmallBytes)) /
+		math.Log(float64(l2dctLargeBytes)/float64(l2dctSmallBytes))
+	return L2DCTWMax - frac*(L2DCTWMax-L2DCTWMin)
+}
+
+// Alpha returns the marked-fraction estimate.
+func (l *L2DCT) Alpha() float64 { return l.alpha }
+
+// BeforeSend implements tcp.CongestionControl.
+func (l *L2DCT) BeforeSend() {}
+
+// OnSent implements tcp.CongestionControl: attained service accounting.
+func (l *L2DCT) OnSent(ev tcp.SendEvent) bool {
+	if !ev.Retransmit {
+		l.sentBytes += ev.EndSeq - ev.Seq
+	}
+	return false
+}
+
+// OnAck implements tcp.CongestionControl.
+func (l *L2DCT) OnAck(ev tcp.AckEvent) {
+	w := l.Weight()
+	if !ev.InRecovery {
+		cwnd := l.ctl.Cwnd()
+		if cwnd < l.ctl.Ssthresh() {
+			// Slow start is unchanged.
+			l.ctl.SetCwnd(cwnd + float64(ev.AckedSegs))
+		} else {
+			// Weighted congestion avoidance: +w_c per RTT.
+			l.ctl.SetCwnd(cwnd + w*float64(ev.AckedSegs)/cwnd)
+		}
+	}
+
+	l.ackedSegs += ev.AckedSegs
+	if ev.ECE {
+		l.markedSegs += ev.AckedSegs
+		l.ceInWindow = true
+	}
+	if ev.Ack < l.windowEnd {
+		return
+	}
+	if l.ackedSegs > 0 {
+		f := float64(l.markedSegs) / float64(l.ackedSegs)
+		l.alpha = (1-l.gain)*l.alpha + l.gain*f
+	}
+	if l.ceInWindow {
+		// Penalty b ∈ (0,1]: long flows (small w) back off almost the
+		// full DCTCP α/2; short flows back off more gently.
+		b := 1 - (w-L2DCTWMin)/(L2DCTWMax-L2DCTWMin)*(1-L2DCTWMin/L2DCTWMax)
+		cut := l.ctl.Cwnd() * (1 - l.alpha*b/2)
+		l.ctl.SetCwnd(cut)
+		l.ctl.SetSsthresh(cut)
+	}
+	l.ackedSegs, l.markedSegs, l.ceInWindow = 0, 0, false
+	l.windowEnd = ev.Ack + int64(l.ctl.Cwnd()*float64(l.mss))
+}
+
+// OnDupAck implements tcp.CongestionControl.
+func (l *L2DCT) OnDupAck() {}
+
+// SsthreshAfterLoss implements tcp.CongestionControl.
+func (l *L2DCT) SsthreshAfterLoss() float64 { return tcp.HalfWindow(l.ctl) }
+
+// OnTimeout implements tcp.CongestionControl.
+func (l *L2DCT) OnTimeout() {}

@@ -1,0 +1,98 @@
+package cc
+
+import (
+	"time"
+
+	"tcptrim/internal/tcp"
+)
+
+// Vegas thresholds (Brakmo et al., SIGCOMM'94): keep between alpha and
+// beta packets queued at the bottleneck.
+const (
+	VegasAlpha = 2.0
+	VegasBeta  = 4.0
+)
+
+// Vegas implements TCP Vegas, the classic delay-based congestion control
+// the paper cites as the ancestor of its own queue-control idea. Once per
+// RTT the sender compares expected throughput (cwnd/baseRTT) with actual
+// throughput (cwnd/RTT); the difference estimates the flow's packets
+// queued at the bottleneck, and the window is nudged to keep that backlog
+// between alpha and beta. Slow start is left standard, and loss recovery
+// is Reno's.
+//
+// Vegas is included as a related-work reference point: like TCP-TRIM it
+// needs no switch support, but it has no answer to the window-inheritance
+// problem TRIM targets.
+type Vegas struct {
+	ctl tcp.Control
+
+	baseRTT    time.Duration
+	lastAdjust time.Duration // virtual-time of the last per-RTT adjustment, as sim duration
+	haveAdjust bool
+}
+
+var _ tcp.CongestionControl = (*Vegas)(nil)
+
+// NewVegas returns a Vegas policy.
+func NewVegas() *Vegas { return &Vegas{} }
+
+// Name implements tcp.CongestionControl.
+func (v *Vegas) Name() string { return "Vegas" }
+
+// Attach implements tcp.CongestionControl.
+func (v *Vegas) Attach(ctl tcp.Control) { v.ctl = ctl }
+
+// BaseRTT returns the observed minimum RTT.
+func (v *Vegas) BaseRTT() time.Duration { return v.baseRTT }
+
+// BeforeSend implements tcp.CongestionControl.
+func (v *Vegas) BeforeSend() {}
+
+// OnSent implements tcp.CongestionControl.
+func (v *Vegas) OnSent(tcp.SendEvent) bool { return false }
+
+// OnAck implements tcp.CongestionControl.
+func (v *Vegas) OnAck(ev tcp.AckEvent) {
+	if ev.RTT > 0 && (v.baseRTT == 0 || ev.RTT < v.baseRTT) {
+		v.baseRTT = ev.RTT
+	}
+	if ev.InRecovery || ev.RTT <= 0 || v.baseRTT <= 0 {
+		return
+	}
+	cwnd := v.ctl.Cwnd()
+	if cwnd < v.ctl.Ssthresh() {
+		// Vegas moderates slow start (growth every other RTT in the
+		// original); plain doubling is kept for simplicity, the backlog
+		// rule below catches up immediately after.
+		v.ctl.SetCwnd(cwnd + float64(ev.AckedSegs))
+		return
+	}
+	// One adjustment per RTT.
+	now := time.Duration(v.ctl.Now())
+	if v.haveAdjust && now-v.lastAdjust < ev.RTT {
+		return
+	}
+	v.lastAdjust, v.haveAdjust = now, true
+
+	// diff = cwnd × (RTT − baseRTT)/RTT packets queued at the bottleneck.
+	diff := cwnd * float64(ev.RTT-v.baseRTT) / float64(ev.RTT)
+	switch {
+	case diff < VegasAlpha:
+		v.ctl.SetCwnd(cwnd + 1)
+	case diff > VegasBeta:
+		v.ctl.SetCwnd(cwnd - 1)
+	}
+	// Leaving slow start once the backlog rule engages keeps growth
+	// linear afterwards.
+	v.ctl.SetSsthresh(v.ctl.Cwnd())
+}
+
+// OnDupAck implements tcp.CongestionControl.
+func (v *Vegas) OnDupAck() {}
+
+// SsthreshAfterLoss implements tcp.CongestionControl.
+func (v *Vegas) SsthreshAfterLoss() float64 { return tcp.HalfWindow(v.ctl) }
+
+// OnTimeout implements tcp.CongestionControl.
+func (v *Vegas) OnTimeout() {}

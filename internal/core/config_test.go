@@ -1,0 +1,168 @@
+package core
+
+// Tests of the Config knobs added around the paper's core algorithm:
+// fixed K, BaseRTT, fallback factor, and the probe/tuning interactions
+// with them.
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/tcp"
+)
+
+func TestFixedKOverridesEverything(t *testing.T) {
+	ctl := newFakeCtl()
+	ctl.rate = netsim.Gbps
+	tr := New(Config{K: 777 * time.Microsecond, BaseRTT: 100 * time.Microsecond})
+	tr.Attach(ctl)
+	if tr.K() != 777*time.Microsecond {
+		t.Errorf("K = %v at attach", tr.K())
+	}
+	seedRTT(tr, 200*time.Microsecond)
+	if tr.K() != 777*time.Microsecond {
+		t.Errorf("K = %v after samples, fixed K must stick", tr.K())
+	}
+}
+
+func TestBaseRTTSetsKAtAttach(t *testing.T) {
+	ctl := newFakeCtl()
+	ctl.rate = netsim.Gbps
+	tr := New(Config{BaseRTT: 225 * time.Microsecond})
+	tr.Attach(ctl)
+	want := GuidelineKForLink(netsim.Gbps, 1500, 225*time.Microsecond)
+	if tr.K() != want {
+		t.Errorf("K = %v at attach, want %v from the configured D", tr.K(), want)
+	}
+	// A smaller measured RTT must not disturb the configured-D K.
+	seedRTT(tr, 120*time.Microsecond)
+	if tr.K() != want {
+		t.Errorf("K = %v after a smaller sample, configured D must win", tr.K())
+	}
+}
+
+func TestBaseRTTUsedInEq1(t *testing.T) {
+	ctl := newFakeCtl()
+	tr := New(Config{BaseRTT: 200 * time.Microsecond})
+	tr.Attach(ctl)
+	// Even though the measured minimum is inflated (flow started against
+	// a standing queue), Eq. 1 uses the configured D.
+	seedRTT(tr, 400*time.Microsecond)
+	ctl.cwnd = 100
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	tr.BeforeSend()
+	tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	tr.OnSent(tcp.SendEvent{Seq: 1460, EndSeq: 2920})
+	// probeRTT = 240µs: with D=200µs the factor is 1−40/200 = 0.8 → 80.
+	// With the inflated measured minRTT (400µs) it would have been
+	// capped at the saved window (probeRTT < minRTT).
+	tr.OnAck(tcp.AckEvent{Ack: 2920, AckedSegs: 2, RTT: 240 * time.Microsecond})
+	if ctl.cwnd != 80 {
+		t.Errorf("tuned cwnd = %v, want 80 from configured D", ctl.cwnd)
+	}
+}
+
+func TestTunedWindowNeverExceedsSaved(t *testing.T) {
+	ctl := newFakeCtl()
+	tr := New(Config{BaseRTT: 400 * time.Microsecond})
+	tr.Attach(ctl)
+	seedRTT(tr, 400*time.Microsecond)
+	ctl.cwnd = 50
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	tr.BeforeSend()
+	tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	tr.OnSent(tcp.SendEvent{Seq: 1460, EndSeq: 2920})
+	// Probe RTT below D (configured D was conservative): Eq. 1's factor
+	// exceeds 1; inheritance must cap at the saved window.
+	tr.OnAck(tcp.AckEvent{Ack: 2920, AckedSegs: 2, RTT: 300 * time.Microsecond})
+	if ctl.cwnd != 50 {
+		t.Errorf("tuned cwnd = %v, want cap at saved 50", ctl.cwnd)
+	}
+}
+
+func TestFallbackKFactor(t *testing.T) {
+	ctl := newFakeCtl() // no link rate
+	tr := New(Config{FallbackKFactor: 3})
+	tr.Attach(ctl)
+	seedRTT(tr, 100*time.Microsecond)
+	if tr.K() != 300*time.Microsecond {
+		t.Errorf("K = %v, want 3×minRTT", tr.K())
+	}
+}
+
+func TestQueueControlSetsSsthresh(t *testing.T) {
+	ctl := newFakeCtl()
+	tr := New(Config{K: 300 * time.Microsecond})
+	tr.Attach(ctl)
+	seedRTT(tr, 200*time.Microsecond)
+	ctl.cwnd, ctl.ssthresh = 100, 1<<30
+	tr.OnAck(tcp.AckEvent{Ack: 100, AckedSegs: 1, RTT: 600 * time.Microsecond})
+	if ctl.ssthresh > ctl.cwnd+1e-9 {
+		t.Errorf("ssthresh = %v above cwnd %v: slow start would re-overshoot", ctl.ssthresh, ctl.cwnd)
+	}
+}
+
+func TestProbeResolutionSetsSsthresh(t *testing.T) {
+	ctl := newFakeCtl()
+	tr := New(Config{})
+	tr.Attach(ctl)
+	seedRTT(tr, 200*time.Microsecond)
+	ctl.cwnd, ctl.ssthresh = 100, 1<<30
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	tr.BeforeSend()
+	tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	tr.OnSent(tcp.SendEvent{Seq: 1460, EndSeq: 2920})
+	tr.OnAck(tcp.AckEvent{Ack: 2920, AckedSegs: 2, RTT: 220 * time.Microsecond})
+	if ctl.ssthresh != ctl.cwnd {
+		t.Errorf("ssthresh = %v, want tuned window %v (CA restart)", ctl.ssthresh, ctl.cwnd)
+	}
+}
+
+func TestNoReProbeAfterResolution(t *testing.T) {
+	// After a probe exchange resolves, the pause it created must not be
+	// misread as a fresh inter-train gap.
+	ctl := newFakeCtl()
+	tr := New(Config{})
+	tr.Attach(ctl)
+	seedRTT(tr, 200*time.Microsecond)
+	ctl.cwnd = 50
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	tr.BeforeSend()
+	tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	tr.OnSent(tcp.SendEvent{Seq: 1460, EndSeq: 2920})
+	tr.OnAck(tcp.AckEvent{Ack: 2920, AckedSegs: 2, RTT: 220 * time.Microsecond})
+	if tr.ProbeRounds() != 1 {
+		t.Fatalf("rounds = %d", tr.ProbeRounds())
+	}
+	// The sender's last transmission is one probe-RTT old, but the
+	// exchange just resolved: BeforeSend must not start round 2.
+	ctl.gap = 250 * time.Microsecond
+	tr.BeforeSend()
+	if tr.ProbeRounds() != 1 {
+		t.Errorf("re-probed immediately after resolution: rounds = %d", tr.ProbeRounds())
+	}
+}
+
+func TestProbeDeadlineRevokesAllowance(t *testing.T) {
+	ctl := newFakeCtl()
+	tr := New(Config{})
+	tr.Attach(ctl)
+	seedRTT(tr, 200*time.Microsecond)
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	tr.BeforeSend()
+	if ctl.bonus != 2 {
+		t.Fatalf("bonus = %d", ctl.bonus)
+	}
+	tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	ctl.sched.RunUntil(ctl.sched.Now().Add(time.Second))
+	if tr.Probing() {
+		t.Fatal("deadline did not fire")
+	}
+	if ctl.bonus != 0 {
+		t.Errorf("bonus = %d after probe end, must be revoked", ctl.bonus)
+	}
+	if tr.ProbeTimeouts() != 1 {
+		t.Errorf("ProbeTimeouts = %d", tr.ProbeTimeouts())
+	}
+}

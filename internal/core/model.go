@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// SteadyState numerically evaluates the paper's Section III.B fluid model
+// of N totally synchronized TCP-TRIM long flows sharing one bottleneck:
+// every flow grows its window by one packet per round; when the round-trip
+// time exceeds K, each flow j backs off by Eq. 3 with its own RTT of
+// Eq. 8. The model exposes the quantity the K guideline is derived from —
+// the minimum queue occupancy right after a synchronized back-off
+// (Eq. 11): utilization is full iff that minimum never goes negative.
+//
+// This is the analysis, not the packet simulator; the TestModel* tests
+// cross-check the closed-form guideline (Eq. 22) against this executable
+// version of the derivation, and the eq22 experiment checks both against
+// packet-level behaviour.
+type SteadyState struct {
+	// N is the number of synchronized flows.
+	N int
+	// C is the bottleneck capacity in packets per second.
+	C float64
+	// D is the queue-free round-trip time.
+	D time.Duration
+	// K is the back-off threshold.
+	K time.Duration
+}
+
+// ModelResult summarizes the model's steady-state cycle.
+type ModelResult struct {
+	// WindowBeforeBackoff is each flow's window when RTT first exceeds K
+	// (Eq. 6: CK/N + 1).
+	WindowBeforeBackoff float64
+	// QueueMax is the queue right before back-off (Eq. 7).
+	QueueMax float64
+	// TotalDecrement is the synchronized window reduction (Eq. 10).
+	TotalDecrement float64
+	// QueueMin is the queue right after back-off (left side of Eq. 11).
+	QueueMin float64
+	// FullUtilization reports whether the queue never drains to zero.
+	FullUtilization bool
+}
+
+// Evaluate runs one cycle of the synchronized steady state.
+func (m SteadyState) Evaluate() ModelResult {
+	var res ModelResult
+	if m.N <= 0 || m.C <= 0 || m.D <= 0 || m.K < m.D {
+		return res
+	}
+	ck := m.C * m.K.Seconds()
+	n := float64(m.N)
+
+	// Eq. 5–6: the window the threshold admits, plus the +1 growth that
+	// overshoots it.
+	res.WindowBeforeBackoff = ck/n + 1
+	// Eq. 7: Qmax = C(K−D) + N.
+	res.QueueMax = m.C*(m.K.Seconds()-m.D.Seconds()) + n
+
+	// Eq. 8–10: flow j sees RTT = K + j/C, so ep_j = j/(CK+j) and its
+	// decrement is W(i+1) × ep_j / 2; summed exactly rather than through
+	// the paper's integral approximation (Eq. 13).
+	var sum float64
+	for j := 1; j <= m.N; j++ {
+		sum += float64(j) / (ck + float64(j))
+	}
+	// Eq. 10's prefactor (CK+N)/(2N) is W(i+1)/2 with W(i+1) = (CK+N)/N.
+	res.TotalDecrement = res.WindowBeforeBackoff / 2 * sum
+	res.QueueMin = res.QueueMax - res.TotalDecrement
+	res.FullUtilization = res.QueueMin > 0
+	return res
+}
+
+// MinimalFullUtilizationK searches the smallest K (at microsecond
+// resolution) for which the model keeps the queue busy — the model-exact
+// counterpart of the closed-form guideline, which is an upper bound
+// because of the integral and ln-term relaxations in Eq. 13–15.
+func (m SteadyState) MinimalFullUtilizationK(lo, hi time.Duration) time.Duration {
+	if lo < m.D {
+		lo = m.D
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		probe := m
+		probe.K = mid
+		if probe.Evaluate().FullUtilization {
+			hi = mid
+		} else {
+			lo = mid + time.Microsecond
+		}
+	}
+	return lo
+}
+
+// GuidelineWorstCaseN returns the flow count that maximizes the right
+// side of Eq. 16 (the stationary point of F(N), Eq. 19): the N the
+// closed-form guideline is sized for.
+func GuidelineWorstCaseN(c float64, d time.Duration) float64 {
+	if c <= 0 || d <= 0 {
+		return 0
+	}
+	// N² + 2N + 1 − 2DC = 0 → N = −1 + √(2DC).
+	return -1 + math.Sqrt(2*c*d.Seconds())
+}

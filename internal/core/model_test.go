@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcptrim/internal/netsim"
+)
+
+func gigModel(n int, k time.Duration) SteadyState {
+	return SteadyState{
+		N: n,
+		C: netsim.Gbps.PacketsPerSecond(1500),
+		D: 225 * time.Microsecond,
+		K: k,
+	}
+}
+
+func TestModelGuidelineKeepsQueueBusy(t *testing.T) {
+	// The closed-form K (Eq. 22) must yield full utilization in the
+	// executable model for every flow count — that is exactly what the
+	// derivation promises.
+	kStar := GuidelineKForLink(netsim.Gbps, 1500, 225*time.Microsecond)
+	for n := 1; n <= 200; n++ {
+		res := gigModel(n, kStar).Evaluate()
+		if !res.FullUtilization {
+			t.Fatalf("N=%d: guideline K=%v drains the queue (min %f)", n, kStar, res.QueueMin)
+		}
+	}
+}
+
+func TestModelGuidelineIsNotGrosslyLoose(t *testing.T) {
+	// At the worst-case N the model-exact minimal K should be within a
+	// factor of ~2 of the closed-form bound (the bound relaxes Eq. 13's
+	// sum and drops the negative ln term, so some slack is expected).
+	kStar := GuidelineKForLink(netsim.Gbps, 1500, 225*time.Microsecond)
+	worstN := int(GuidelineWorstCaseN(netsim.Gbps.PacketsPerSecond(1500), 225*time.Microsecond))
+	if worstN < 1 {
+		t.Fatalf("worst-case N = %d", worstN)
+	}
+	m := gigModel(worstN, 0)
+	minK := m.MinimalFullUtilizationK(225*time.Microsecond, 10*time.Millisecond)
+	if minK > kStar {
+		t.Errorf("model needs K=%v above the closed-form bound %v", minK, kStar)
+	}
+	if kStar > 3*minK {
+		t.Errorf("bound %v is more than 3× the model-exact %v", kStar, minK)
+	}
+}
+
+func TestModelExactSumIsLessConservativeThanEq15(t *testing.T) {
+	// An analytical finding of this reproduction: evaluating Eq. 10's sum
+	// exactly (instead of the Σ→N−1 relaxation of Eq. 15) shows the
+	// per-flow decrement W(i+1)·ep_j/2 with ep_j < 1 always totals less
+	// than Qmax = C(K−D)+N whenever K ≥ D — the synchronized model never
+	// drains the queue, so the closed-form K* is a safe but conservative
+	// bound. Packet-level underutilization only appears for K < D
+	// (cf. the eq22 sweep at K*/4 ≈ 79 µs < D = 225 µs).
+	for _, n := range []int{1, 3, 5, 20, 100, 1000} {
+		for _, k := range []time.Duration{225 * time.Microsecond, 240 * time.Microsecond, 2 * time.Millisecond} {
+			res := gigModel(n, k).Evaluate()
+			if !res.FullUtilization {
+				t.Errorf("N=%d K=%v: exact model drained the queue (min %f)", n, k, res.QueueMin)
+			}
+		}
+	}
+}
+
+func TestModelQuantitiesMatchPaperFormulas(t *testing.T) {
+	m := gigModel(10, 500*time.Microsecond)
+	res := m.Evaluate()
+	ck := m.C * m.K.Seconds()
+	if got, want := res.WindowBeforeBackoff, ck/10+1; !close(got, want) {
+		t.Errorf("W(i+1) = %v, want %v", got, want)
+	}
+	if got, want := res.QueueMax, m.C*(m.K.Seconds()-m.D.Seconds())+10; !close(got, want) {
+		t.Errorf("Qmax = %v, want %v", got, want)
+	}
+	if res.QueueMin >= res.QueueMax {
+		t.Error("back-off must reduce the queue")
+	}
+}
+
+func TestModelDegenerateInputs(t *testing.T) {
+	for _, m := range []SteadyState{
+		{N: 0, C: 1000, D: time.Millisecond, K: 2 * time.Millisecond},
+		{N: 5, C: 0, D: time.Millisecond, K: 2 * time.Millisecond},
+		{N: 5, C: 1000, D: 0, K: 2 * time.Millisecond},
+		{N: 5, C: 1000, D: 2 * time.Millisecond, K: time.Millisecond}, // K < D
+	} {
+		if res := m.Evaluate(); res.FullUtilization {
+			t.Errorf("degenerate %+v claimed full utilization", m)
+		}
+	}
+}
+
+// TestModelGuidelineProperty: for random capacities, delays, and flow
+// counts, Eq. 22's K always keeps the model's queue busy.
+func TestModelGuidelineProperty(t *testing.T) {
+	prop := func(cRaw uint32, dus uint16, n8 uint8) bool {
+		c := float64(cRaw%1_000_000) + 1_000 // 1k–1M packets/s
+		d := time.Duration(int(dus)%2000+20) * time.Microsecond
+		n := int(n8)%100 + 1
+		k := GuidelineK(c, d)
+		m := SteadyState{N: n, C: c, D: d, K: k}
+		return m.Evaluate().FullUtilization
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuidelineWorstCaseN(t *testing.T) {
+	c := netsim.Gbps.PacketsPerSecond(1500)
+	d := 225 * time.Microsecond
+	n := GuidelineWorstCaseN(c, d)
+	// √(2×83333×0.000225) − 1 ≈ 5.12.
+	if n < 4 || n > 7 {
+		t.Errorf("worst-case N = %v", n)
+	}
+	if GuidelineWorstCaseN(0, d) != 0 || GuidelineWorstCaseN(c, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func close(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 1e-6*(1+b)
+}

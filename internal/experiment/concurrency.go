@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/metrics"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+	"tcptrim/internal/workload"
+)
+
+// Section II.B.2 concurrency scenario: the many-to-one star again
+// ("we rebuild the previous many-to-one scenario"); 0–2 long-lived
+// background flows ("LPTs") start at 0.1 s; the SPT servers first run the
+// Section II.B warm-up (200 small responses from 0.1 s, which builds up
+// their inherited windows exactly as in Fig. 4) and then burst one short
+// train of 10 packets at 0.3 s; 200 ms RTO.
+const (
+	concLPTStart   = 100 * time.Millisecond
+	concSPTStart   = 300 * time.Millisecond
+	concSPTPackets = 10
+	concHorizon    = 2 * time.Second
+	concBackground = 1 << 30 // effectively endless
+	concSPTLabel   = "spt"
+)
+
+// ConcurrencyCell is one (LPTs, SPTs) grid cell's outcome.
+type ConcurrencyCell struct {
+	LPTs, SPTs    int
+	ACT, Min, Max time.Duration
+	Timeouts      int
+}
+
+// ConcurrencyResult holds Fig. 5 (TCP) / Fig. 7 (TCP-TRIM) outputs.
+type ConcurrencyResult struct {
+	Protocol Protocol
+	Cells    []ConcurrencyCell
+}
+
+// Cell returns the grid cell for (lpts, spts), or nil.
+func (r *ConcurrencyResult) Cell(lpts, spts int) *ConcurrencyCell {
+	for i := range r.Cells {
+		if r.Cells[i].LPTs == lpts && r.Cells[i].SPTs == spts {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunConcurrency sweeps the number of background long flows and
+// concurrent short trains under the given protocol. Cells are
+// independent simulations and run in parallel.
+func RunConcurrency(proto Protocol, lptCounts []int, maxSPT int, opts Options) (*ConcurrencyResult, error) {
+	if _, err := NewCC(proto); err != nil {
+		return nil, err
+	}
+	type cellKey struct{ lpts, spts int }
+	var keys []cellKey
+	for _, lpts := range lptCounts {
+		for spts := 1; spts <= maxSPT; spts++ {
+			keys = append(keys, cellKey{lpts, spts})
+		}
+	}
+	cells := make([]*ConcurrencyCell, len(keys))
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		i, k := i, k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cells[i], errs[i] = runConcurrencyCell(proto, k.lpts, k.spts, opts.seed())
+		}()
+	}
+	wg.Wait()
+	out := &ConcurrencyResult{Protocol: proto}
+	for i := range keys {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out.Cells = append(out.Cells, *cells[i])
+	}
+	return out, nil
+}
+
+func runConcurrencyCell(proto Protocol, lpts, spts int, seed int64) (*ConcurrencyCell, error) {
+	rng := sim.NewRand(seed + int64(lpts)*1000 + int64(spts))
+	sched := sim.NewScheduler()
+	star := topology.NewStar(sched, lpts+spts, topology.DefaultStarLink(100))
+	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC:    func() tcp.CongestionControl { return MustCC(proto) },
+		Base: tcp.Config{
+			MinRTO:   impairmentRTO,
+			ECN:      UsesECN(proto),
+			LinkRate: netsim.Gbps,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < lpts; i++ {
+		if err := fleet.Servers[i].StartBackgroundFlow(sim.At(concLPTStart), concBackground); err != nil {
+			return nil, err
+		}
+	}
+	spt := &httpapp.Collector{}
+	for i := lpts; i < lpts+spts; i++ {
+		// Warm-up: 200 small responses build the inherited window.
+		warm := workload.ScheduleCount(rng, sim.At(impairmentRespStart), impairmentResponses,
+			workload.UniformSize{Min: impairmentRespMin, Max: impairmentRespMax},
+			workload.ExponentialGap{Mean: impairmentRespMean})
+		if err := fleet.Servers[i].ScheduleTrains(warm); err != nil {
+			return nil, err
+		}
+		// The measured SPT burst at 0.3 s.
+		sptServer := httpapp.NewServer(sched, fleet.Conns[i], concSPTLabel, spt)
+		if err := sptServer.ScheduleResponse(sim.At(concSPTStart), concSPTPackets*tcp.DefaultMSS); err != nil {
+			return nil, err
+		}
+	}
+	// Stop as soon as every measured SPT completed; the background flows
+	// would otherwise run to the horizon for nothing.
+	var watch func()
+	watch = func() {
+		if spt.Pending() == 0 {
+			sched.Stop()
+			return
+		}
+		sched.After(10*time.Millisecond, watch)
+	}
+	if _, err := sched.At(sim.At(concSPTStart), watch); err != nil {
+		return nil, err
+	}
+	sched.RunUntil(sim.At(concHorizon))
+
+	var d metrics.Distribution
+	for _, r := range spt.Responses() {
+		d.AddDuration(r.CompletionTime())
+	}
+	if d.Count() != spts {
+		return nil, fmt.Errorf("concurrency cell L=%d S=%d: %d of %d SPTs completed",
+			lpts, spts, d.Count(), spts)
+	}
+	timeouts := 0
+	for i := lpts; i < lpts+spts; i++ {
+		timeouts += fleet.Conns[i].Stats().Timeouts
+	}
+	return &ConcurrencyCell{
+		LPTs: lpts, SPTs: spts,
+		ACT:      secondsToDuration(d.Mean()),
+		Min:      secondsToDuration(d.Min()),
+		Max:      secondsToDuration(d.Max()),
+		Timeouts: timeouts,
+	}, nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// WriteTables renders the sweep.
+func (r *ConcurrencyResult) WriteTables(w io.Writer) error {
+	t := &Table{
+		Title:  fmt.Sprintf("Concurrency impairment (%s) — Fig. 5 / Fig. 7 scenario", r.Protocol),
+		Header: []string{"LPTs", "SPTs", "ACT", "min CT", "max CT", "SPT timeouts"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.LPTs),
+			fmt.Sprintf("%d", c.SPTs),
+			c.ACT.Round(10 * time.Microsecond).String(),
+			c.Min.Round(10 * time.Microsecond).String(),
+			c.Max.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%d", c.Timeouts),
+		})
+	}
+	return t.Write(w)
+}
+
+var _ = register("fig5", func(opts Options, w io.Writer) error {
+	res, err := RunConcurrency(ProtoTCP, []int{0, 1, 2}, 10, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})
+
+var _ = register("fig7", func(opts Options, w io.Writer) error {
+	trim, err := RunConcurrency(ProtoTRIM, []int{2}, 10, opts)
+	if err != nil {
+		return err
+	}
+	reno, err := RunConcurrency(ProtoTCP, []int{2}, 10, opts)
+	if err != nil {
+		return err
+	}
+	if err := trim.WriteTables(w); err != nil {
+		return err
+	}
+	return reno.WriteTables(w)
+})

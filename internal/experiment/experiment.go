@@ -1,0 +1,248 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation (Section IV), plus the motivation experiments of
+// Section II and the ablations DESIGN.md calls out. Each runner builds its
+// scenario from the topology/workload/httpapp packages, executes it on the
+// deterministic simulator, and returns a result struct that can print the
+// same rows/series the paper reports.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"tcptrim/internal/cc"
+	"tcptrim/internal/core"
+	"tcptrim/internal/metrics"
+	"tcptrim/internal/tcp"
+)
+
+// Protocol names a congestion-control variant under test.
+type Protocol string
+
+// The protocols the paper evaluates.
+const (
+	ProtoTCP   Protocol = "TCP"
+	ProtoTRIM  Protocol = "TCP-TRIM"
+	ProtoDCTCP Protocol = "DCTCP"
+	ProtoL2DCT Protocol = "L2DCT"
+	ProtoCUBIC Protocol = "CUBIC"
+	ProtoGIP   Protocol = "GIP"
+
+	// Ablation variants of TCP-TRIM.
+	ProtoTRIMNoProbe Protocol = "TRIM-noprobe"
+	ProtoTRIMNoQueue Protocol = "TRIM-noqueue"
+)
+
+// NewCC returns a fresh congestion-control policy for p.
+func NewCC(p Protocol) (tcp.CongestionControl, error) {
+	switch p {
+	case ProtoTCP:
+		return tcp.NewReno(), nil
+	case ProtoTRIM:
+		return core.New(core.Config{}), nil
+	case ProtoDCTCP:
+		return cc.NewDCTCP(), nil
+	case ProtoL2DCT:
+		return cc.NewL2DCT(), nil
+	case ProtoCUBIC:
+		return cc.NewCubic(), nil
+	case ProtoGIP:
+		return cc.NewGIP(), nil
+	case ProtoTRIMNoProbe:
+		return core.New(core.Config{DisableProbing: true}), nil
+	case ProtoTRIMNoQueue:
+		return core.New(core.Config{DisableQueueControl: true}), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown protocol %q", p)
+	}
+}
+
+// MustCC is NewCC for known-constant protocols inside runners.
+func MustCC(p Protocol) tcp.CongestionControl {
+	policy, err := NewCC(p)
+	if err != nil {
+		// Unreachable for the package's own constants; make the bug loud
+		// in experiment code paths rather than silently running Reno.
+		panic(err)
+	}
+	return policy
+}
+
+// UsesECN reports whether the protocol needs ECN-capable transport
+// marking.
+func UsesECN(p Protocol) bool {
+	return p == ProtoDCTCP || p == ProtoL2DCT
+}
+
+// NewCCWithBaseRTT returns a fresh policy like NewCC, but configures
+// TCP-TRIM variants with the scenario's known queue-free RTT D (see
+// core.Config.BaseRTT). Non-TRIM protocols ignore the hint.
+func NewCCWithBaseRTT(p Protocol, baseRTT time.Duration) (tcp.CongestionControl, error) {
+	switch p {
+	case ProtoTRIM:
+		return core.New(core.Config{BaseRTT: baseRTT}), nil
+	case ProtoTRIMNoProbe:
+		return core.New(core.Config{BaseRTT: baseRTT, DisableProbing: true}), nil
+	case ProtoTRIMNoQueue:
+		return core.New(core.Config{BaseRTT: baseRTT, DisableQueueControl: true}), nil
+	default:
+		return NewCC(p)
+	}
+}
+
+// MustCCWithBaseRTT is NewCCWithBaseRTT for the package's own constants.
+func MustCCWithBaseRTT(p Protocol, baseRTT time.Duration) tcp.CongestionControl {
+	policy, err := NewCCWithBaseRTT(p, baseRTT)
+	if err != nil {
+		panic(err)
+	}
+	return policy
+}
+
+// Options tunes a run without changing the scenario.
+type Options struct {
+	// Seed drives every random draw; same seed, same run.
+	Seed int64
+	// Reps repeats randomized scenarios (Fig. 8's "repeated 100 times");
+	// 0 means each experiment's default.
+	Reps int
+	// CSVDir, when non-empty, makes runners that produce time series
+	// (fig4, fig6, fig9, fig10) also write them as CSV files into this
+	// directory for plotting.
+	CSVDir string
+}
+
+// saveSeriesCSV writes a series into opts.CSVDir when exporting is
+// enabled; it is a no-op otherwise.
+func saveSeriesCSV(opts Options, name, valueName string, s *metrics.Series) error {
+	if opts.CSVDir == "" || s == nil {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(opts.CSVDir, name+".csv"))
+	if err != nil {
+		return fmt.Errorf("csv export: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f, valueName); err != nil {
+		return fmt.Errorf("csv export %s: %w", name, err)
+	}
+	return nil
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) reps(def int) int {
+	if o.Reps <= 0 {
+		return def
+	}
+	return o.Reps
+}
+
+// Table is a simple printable grid used by every result type.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// Write renders the table in aligned plain text.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			sep := "  "
+			if i == len(cells)-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(w, "%s%s%s", cell, spaces(pad), sep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	if t.Caption != "" {
+		if _, err := fmt.Fprintf(w, "-- %s\n", t.Caption); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func spaces(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	return strings.Repeat(" ", n)
+}
+
+// Runner executes one registered experiment and writes its tables.
+type Runner func(opts Options, w io.Writer) error
+
+// registry maps experiment ids to runners; ids follow DESIGN.md.
+var registry = map[string]Runner{}
+
+// register is called from each experiment file's top-level declarations
+// (a registry is one of the sanctioned uses of initialization-time side
+// effects: deterministic, no I/O).
+func register(id string, r Runner) bool {
+	registry[id] = r
+	return true
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options, w io.Writer) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(opts, w)
+}

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExtensionDeadlineIncast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deadline incast")
+	}
+	res, err := RunDeadline(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dctcp, d2tcp := res.Row("DCTCP"), res.Row("D2TCP")
+	if dctcp == nil || d2tcp == nil {
+		t.Fatal("missing rows")
+	}
+	// Deadline-blind DCTCP shares evenly: tight deadlines below the
+	// fair-share completion time are mostly missed.
+	if dctcp.TightMet > dctcp.TightTotal/2 {
+		t.Errorf("DCTCP met %d/%d tight deadlines; the budget should be unmeetable at fair share",
+			dctcp.TightMet, dctcp.TightTotal)
+	}
+	// D2TCP lets near-deadline flows keep bandwidth: most tight
+	// deadlines met, and the loose half still unharmed.
+	if d2tcp.TightMet <= dctcp.TightMet {
+		t.Errorf("D2TCP tight-met %d not above DCTCP %d", d2tcp.TightMet, dctcp.TightMet)
+	}
+	if d2tcp.TightMet < d2tcp.TightTotal*3/4 {
+		t.Errorf("D2TCP met only %d/%d tight deadlines", d2tcp.TightMet, d2tcp.TightTotal)
+	}
+	if d2tcp.LooseMet != d2tcp.LooseTotal {
+		t.Errorf("D2TCP loose deadlines: %d/%d", d2tcp.LooseMet, d2tcp.LooseTotal)
+	}
+}
+
+func TestExtensionDelayBasedInheritance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delay-based comparison")
+	}
+	res, err := RunDelayBased(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vegas, trim := res.Row("Vegas"), res.Row("TCP-TRIM")
+	if vegas == nil || trim == nil {
+		t.Fatal("missing rows")
+	}
+	// Vegas is delay-based but window-inheritance-blind: it suffers the
+	// Fig. 4 collapse just like Reno.
+	if vegas.Timeouts == 0 {
+		t.Error("Vegas should suffer inherited-window timeouts on the ON/OFF workload")
+	}
+	if trim.Timeouts != 0 {
+		t.Errorf("TRIM timeouts = %d", trim.Timeouts)
+	}
+	if trim.LPTMean*5 > vegas.LPTMean {
+		t.Errorf("TRIM LPT %v should be far below Vegas %v", trim.LPTMean, vegas.LPTMean)
+	}
+	if trim.LPTMean > 50*time.Millisecond {
+		t.Errorf("TRIM LPT mean = %v", trim.LPTMean)
+	}
+}
+
+func TestAblationBufferInsensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("buffer sweep")
+	}
+	res, err := RunBufferAblation([]Protocol{ProtoTCP, ProtoTRIM}, []int{20, 200}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow := res.Row(ProtoTRIM, 20)
+	deep := res.Row(ProtoTRIM, 200)
+	// TRIM's standing queue is set by K, not by the buffer: the average
+	// queue must be essentially identical across a 10× buffer range.
+	if diff := shallow.AvgQueue - deep.AvgQueue; diff > 3 || diff < -3 {
+		t.Errorf("TRIM AQL varies with buffer: %v vs %v", shallow.AvgQueue, deep.AvgQueue)
+	}
+	if shallow.GoodputMbps < 950 || deep.GoodputMbps < 950 {
+		t.Errorf("TRIM goodput degraded: %v / %v Mbps", shallow.GoodputMbps, deep.GoodputMbps)
+	}
+	// Drop-tail TCP fills whatever buffer exists.
+	tcpDeep := res.Row(ProtoTCP, 200)
+	if tcpDeep.AvgQueue < 3*deep.AvgQueue {
+		t.Errorf("TCP AQL %v not far above TRIM %v with deep buffers",
+			tcpDeep.AvgQueue, deep.AvgQueue)
+	}
+}
+
+func TestExtensionJitterBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("jitter sweep")
+	}
+	res, err := RunJitter([]time.Duration{0, 50 * time.Microsecond, 400 * time.Microsecond}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the K−D allowance utilization holds; far beyond it TRIM
+	// backs off spuriously.
+	if res.Rows[1].Utilization < 0.98 {
+		t.Errorf("50µs jitter utilization = %v", res.Rows[1].Utilization)
+	}
+	if res.Rows[2].Utilization > 0.9 {
+		t.Errorf("400µs jitter utilization = %v, expected collapse", res.Rows[2].Utilization)
+	}
+	if res.Rows[0].Drops != 0 || res.Rows[1].Drops != 0 {
+		t.Error("jitter within budget must not cause drops")
+	}
+}
+
+func TestExtensionLossSACKHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loss sweep")
+	}
+	res, err := RunLossRobustness([]float64{2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := res.Row("TCP", 2)
+	sacked := res.Row("TCP+SACK", 2)
+	if sacked.Retrans >= plain.Retrans {
+		t.Errorf("SACK retrans %d not below plain %d under 2%% loss",
+			sacked.Retrans, plain.Retrans)
+	}
+	if sacked.P99 > plain.P99 {
+		t.Errorf("SACK P99 %v above plain %v", sacked.P99, plain.P99)
+	}
+	for _, row := range res.Rows {
+		if row.Complete != row.Total {
+			t.Errorf("%s: %d/%d completed", row.Variant, row.Complete, row.Total)
+		}
+	}
+}
+
+func TestExtensionScatterGatherGradient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scatter/gather")
+	}
+	res, err := RunScatterGather([]Protocol{ProtoTCP, ProtoDCTCP, ProtoTRIM}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpRow := res.Row(ProtoTCP)
+	dctcpRow := res.Row(ProtoDCTCP)
+	trimRow := res.Row(ProtoTRIM)
+	if tcpRow.Rounds != scRounds || trimRow.Rounds != scRounds {
+		t.Fatalf("incomplete rounds: tcp=%d trim=%d", tcpRow.Rounds, trimRow.Rounds)
+	}
+	// Barrier latency gradient: TCP (RTO-bound) ≫ DCTCP ≫ TRIM.
+	if !(trimRow.MeanBarrier < dctcpRow.MeanBarrier && dctcpRow.MeanBarrier < tcpRow.MeanBarrier) {
+		t.Errorf("gradient broken: TCP %v, DCTCP %v, TRIM %v",
+			tcpRow.MeanBarrier, dctcpRow.MeanBarrier, trimRow.MeanBarrier)
+	}
+	if trimRow.Timeouts != 0 {
+		t.Errorf("TRIM timeouts = %d", trimRow.Timeouts)
+	}
+	if tcpRow.Timeouts == 0 {
+		t.Error("TCP should hit RTOs in request-driven incast")
+	}
+	// TRIM's tail is flat: P99 within 25% of the mean.
+	if float64(trimRow.P99Barrier) > 1.25*float64(trimRow.MeanBarrier) {
+		t.Errorf("TRIM tail not flat: mean %v, P99 %v", trimRow.MeanBarrier, trimRow.P99Barrier)
+	}
+}

@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/metrics"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+	"tcptrim/internal/workload"
+)
+
+// Section II.B scenario constants: five servers behind a 100-packet
+// switch buffer on 1 Gbps / 50 µs links; 200 responses of 2–10 KB per
+// server from 0.1 s with 1 ms mean spacing; one long train (>128 KB) per
+// server at 0.5 s; 200 ms RTO.
+const (
+	impairmentServers    = 5
+	impairmentBuffer     = 100
+	impairmentResponses  = 200
+	impairmentLPTBytes   = 200 << 10
+	impairmentRespMin    = 2 << 10
+	impairmentRespMax    = 10 << 10
+	impairmentRespMean   = time.Millisecond
+	impairmentRespStart  = 100 * time.Millisecond
+	impairmentLPTStart   = 500 * time.Millisecond
+	impairmentHorizon    = 1500 * time.Millisecond
+	impairmentRTO        = 200 * time.Millisecond
+	impairmentSampleStep = time.Millisecond
+)
+
+// ImpairmentResult holds the Fig. 4 (TCP) / Fig. 6 (TCP-TRIM) outputs:
+// the traced connection's throughput and window evolution, per-connection
+// timeout counts, and the bottleneck queue behavior.
+type ImpairmentResult struct {
+	Protocol Protocol
+	// TimeoutsPerConn is indexed by connection (server) number - 1.
+	TimeoutsPerConn []int
+	// TracedThroughput is connection 5's goodput in Mbps, 10 ms bins
+	// (Fig. 4(a) / part of Fig. 6(a)).
+	TracedThroughput *metrics.Series
+	// TotalThroughput is the front-end's aggregate goodput in Mbps,
+	// 10 ms bins (Fig. 6(a)).
+	TotalThroughput *metrics.Series
+	// TracedCwnd is connection 5's window in segments, 1 ms samples
+	// (Fig. 4(b) / Fig. 6(b)).
+	TracedCwnd *metrics.Series
+	// CwndAtLPTStart is each connection's inherited window when the long
+	// train is released.
+	CwndAtLPTStart []float64
+	// QueueMax / QueueDrops summarize the bottleneck queue.
+	QueueMax   int
+	QueueDrops int
+	// LPTCompletion is each connection's long-train completion time.
+	LPTCompletion []time.Duration
+	// AllDoneBy is when the last response or long train completed.
+	AllDoneBy sim.Time
+}
+
+// TotalTimeouts sums timeouts across connections.
+func (r *ImpairmentResult) TotalTimeouts() int {
+	total := 0
+	for _, n := range r.TimeoutsPerConn {
+		total += n
+	}
+	return total
+}
+
+// RunImpairment executes the Section II.B many-to-one scenario under the
+// given protocol.
+func RunImpairment(proto Protocol, opts Options) (*ImpairmentResult, error) {
+	if _, err := NewCC(proto); err != nil {
+		return nil, err
+	}
+	return runImpairmentCustom(string(proto), func() tcp.CongestionControl { return MustCC(proto) }, opts)
+}
+
+// runImpairmentCustom is RunImpairment for an arbitrary policy
+// constructor (used by the extension experiments).
+func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts Options) (*ImpairmentResult, error) {
+	proto := Protocol(label)
+	rng := sim.NewRand(opts.seed())
+	sched := sim.NewScheduler()
+	star := topology.NewStar(sched, impairmentServers, topology.DefaultStarLink(impairmentBuffer))
+
+	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC:    newCC,
+		Base: tcp.Config{
+			MinRTO:   impairmentRTO,
+			ECN:      UsesECN(proto),
+			LinkRate: netsim.Gbps,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var lastDone sim.Time
+	markDone := func(tcp.TrainResult) {
+		if sched.Now() > lastDone {
+			lastDone = sched.Now()
+		}
+	}
+
+	// 200 small responses per server from 0.1 s.
+	for _, srv := range fleet.Servers {
+		trains := workload.ScheduleCount(rng, sim.At(impairmentRespStart), impairmentResponses,
+			workload.UniformSize{Min: impairmentRespMin, Max: impairmentRespMax},
+			workload.ExponentialGap{Mean: impairmentRespMean})
+		if err := srv.ScheduleTrains(trains); err != nil {
+			return nil, err
+		}
+	}
+
+	// Window snapshot + long train at 0.5 s.
+	res := &ImpairmentResult{Protocol: proto, CwndAtLPTStart: make([]float64, impairmentServers)}
+	lptDone := make([]time.Duration, impairmentServers)
+	for i, conn := range fleet.Conns {
+		i, conn := i, conn
+		if _, err := sched.At(sim.At(impairmentLPTStart), func() {
+			res.CwndAtLPTStart[i] = conn.Cwnd()
+			conn.SendTrain(impairmentLPTBytes, func(r tcp.TrainResult) {
+				lptDone[i] = r.CompletionTime()
+				markDone(r)
+			})
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Traces: connection 5's goodput and window, aggregate goodput,
+	// bottleneck queue.
+	traced := fleet.Conns[impairmentServers-1]
+	res.TracedThroughput = metrics.BinnedRate(sched, 0, sim.At(impairmentHorizon),
+		10*time.Millisecond, func() int64 { return traced.DeliveredBytes() })
+	res.TotalThroughput = metrics.BinnedRate(sched, 0, sim.At(impairmentHorizon),
+		10*time.Millisecond, func() int64 { return fleet.TotalDelivered() })
+	res.TracedCwnd = metrics.Sample(sched, 0, sim.At(impairmentHorizon),
+		impairmentSampleStep, func() float64 { return traced.Cwnd() })
+	queue := star.Bottleneck.Queue()
+	queueSeries := metrics.Sample(sched, 0, sim.At(impairmentHorizon),
+		100*time.Microsecond, func() float64 { return float64(queue.Len()) })
+
+	sched.RunUntil(sim.At(impairmentHorizon))
+
+	res.TimeoutsPerConn = make([]int, impairmentServers)
+	for i, conn := range fleet.Conns {
+		res.TimeoutsPerConn[i] = conn.Stats().Timeouts
+	}
+	res.LPTCompletion = lptDone
+	res.QueueMax = int(queueSeries.Max())
+	res.QueueDrops = queue.Stats().Dropped
+	for _, r := range fleet.Collector.Responses() {
+		if r.Completed > res.AllDoneBy {
+			res.AllDoneBy = r.Completed
+		}
+	}
+	if lastDone > res.AllDoneBy {
+		res.AllDoneBy = lastDone
+	}
+	// Convert byte rates to Mbps for reporting.
+	scaleSeries(res.TracedThroughput, 1e-6)
+	scaleSeries(res.TotalThroughput, 1e-6)
+	prefix := "impairment-" + label
+	if err := saveSeriesCSV(opts, prefix+"-cwnd", "segments", res.TracedCwnd); err != nil {
+		return nil, err
+	}
+	if err := saveSeriesCSV(opts, prefix+"-goodput", "mbps", res.TracedThroughput); err != nil {
+		return nil, err
+	}
+	if err := saveSeriesCSV(opts, prefix+"-total-goodput", "mbps", res.TotalThroughput); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func scaleSeries(s *metrics.Series, f float64) {
+	pts := s.Points()
+	for i := range pts {
+		pts[i].Value *= f
+	}
+}
+
+// WriteTables renders the result.
+func (r *ImpairmentResult) WriteTables(w io.Writer) error {
+	t := &Table{
+		Title:  fmt.Sprintf("Impairment test (%s) — Fig. 4 / Fig. 6 scenario", r.Protocol),
+		Header: []string{"conn", "timeouts", "cwnd@LPT (seg)", "LPT completion"},
+	}
+	for i := range r.TimeoutsPerConn {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", r.TimeoutsPerConn[i]),
+			fmt.Sprintf("%.0f", r.CwndAtLPTStart[i]),
+			r.LPTCompletion[i].String(),
+		})
+	}
+	t.Caption = fmt.Sprintf("queue max %d pkts, drops %d, all done by %v",
+		r.QueueMax, r.QueueDrops, r.AllDoneBy)
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	return writeSeriesTable(w, "Aggregate goodput (Mbps, 10 ms bins)", r.TotalThroughput, 0.0, 1.0)
+}
+
+// writeSeriesTable prints a time series, optionally subsampled to keep
+// output readable: points with Value==skipBelow are compacted.
+func writeSeriesTable(w io.Writer, title string, s *metrics.Series, skipBelow, scale float64) error {
+	t := &Table{Title: title, Header: []string{"t", "value"}}
+	for _, p := range s.Points() {
+		if p.Value <= skipBelow {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{p.At.String(), fmt.Sprintf("%.1f", p.Value*scale)})
+	}
+	if len(t.Rows) == 0 {
+		t.Rows = append(t.Rows, []string{"-", "no nonzero samples"})
+	}
+	return t.Write(w)
+}
+
+var _ = register("fig4", func(opts Options, w io.Writer) error {
+	res, err := RunImpairment(ProtoTCP, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})
+
+var _ = register("fig6", func(opts Options, w io.Writer) error {
+	res, err := RunImpairment(ProtoTRIM, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})

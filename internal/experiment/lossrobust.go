@@ -1,0 +1,146 @@
+package experiment
+
+// ext-loss: robustness to non-congestive (random) packet loss — e.g.
+// flaky optics. Delay-based TRIM's window control does not depend on loss
+// as a signal, but loss still costs it recoveries like everyone else; the
+// SACK extension recovers multi-loss windows without timeouts. The
+// experiment sweeps a loss rate over the Fig. 4 ON/OFF workload and
+// reports response completion behaviour for TCP and TCP-TRIM with and
+// without SACK.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+	"tcptrim/internal/workload"
+)
+
+// LossRow is one (variant, loss rate) cell.
+type LossRow struct {
+	Variant  string
+	LossPct  float64
+	ACT      time.Duration
+	P99      time.Duration
+	Timeouts int
+	Retrans  int
+	Complete int
+	Total    int
+}
+
+// LossResult holds the ext-loss sweep.
+type LossResult struct {
+	Rows []LossRow
+}
+
+// Row returns the cell for (variant, lossPct), or nil.
+func (r *LossResult) Row(variant string, lossPct float64) *LossRow {
+	for i := range r.Rows {
+		if r.Rows[i].Variant == variant && r.Rows[i].LossPct == lossPct {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// LossVariants are the compared sender configurations.
+var LossVariants = []string{"TCP", "TCP+SACK", "TCP-TRIM", "TCP-TRIM+SACK"}
+
+// RunLossRobustness sweeps random loss rates over an ON/OFF response
+// workload.
+func RunLossRobustness(lossPcts []float64, opts Options) (*LossResult, error) {
+	out := &LossResult{}
+	for _, pct := range lossPcts {
+		for _, variant := range LossVariants {
+			row, err := runLossCell(variant, pct, opts.seed())
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, *row)
+		}
+	}
+	return out, nil
+}
+
+func runLossCell(variant string, lossPct float64, seed int64) (*LossRow, error) {
+	rng := sim.NewRand(seed)
+	sched := sim.NewScheduler()
+	star := topology.NewStar(sched, 3, topology.DefaultStarLink(200))
+	// Loss on the shared bottleneck, deterministic per cell.
+	star.Bottleneck.InjectLoss(lossPct/100, sim.NewRand(seed+int64(lossPct*100)))
+
+	sack := variant == "TCP+SACK" || variant == "TCP-TRIM+SACK"
+	trim := variant == "TCP-TRIM" || variant == "TCP-TRIM+SACK"
+	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC: func() tcp.CongestionControl {
+			if trim {
+				return MustCCWithBaseRTT(ProtoTRIM, ksBaseRTT)
+			}
+			return MustCC(ProtoTCP)
+		},
+		Base: tcp.Config{
+			MinRTO:   10 * time.Millisecond,
+			SACK:     sack,
+			LinkRate: netsim.Gbps,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	const perServer = 150
+	for _, srv := range fleet.Servers {
+		trains := workload.ScheduleCount(rng, sim.At(100*time.Millisecond), perServer,
+			workload.UniformSize{Min: 8 << 10, Max: 64 << 10},
+			workload.ExponentialGap{Mean: 2 * time.Millisecond})
+		if err := srv.ScheduleTrains(trains); err != nil {
+			return nil, err
+		}
+	}
+	sched.RunUntil(sim.At(20 * time.Second))
+
+	row := &LossRow{Variant: variant, LossPct: lossPct, Total: 3 * perServer}
+	cts := fleet.Collector.CompletionTimes(nil)
+	row.Complete = cts.Count()
+	row.ACT = secondsToDuration(cts.Mean())
+	row.P99 = secondsToDuration(cts.Percentile(99))
+	for _, c := range fleet.Conns {
+		row.Timeouts += c.Stats().Timeouts
+		row.Retrans += c.Stats().RetransSegs
+	}
+	return row, nil
+}
+
+// WriteTables renders ext-loss.
+func (r *LossResult) WriteTables(w io.Writer) error {
+	t := &Table{
+		Title:  "Extension: robustness to random (non-congestive) loss",
+		Header: []string{"variant", "loss %", "ACT", "P99", "timeouts", "retrans", "completed"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Variant,
+			fmt.Sprintf("%.1f", row.LossPct),
+			row.ACT.Round(10 * time.Microsecond).String(),
+			row.P99.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%d", row.Timeouts),
+			fmt.Sprintf("%d", row.Retrans),
+			fmt.Sprintf("%d/%d", row.Complete, row.Total),
+		})
+	}
+	return t.Write(w)
+}
+
+var _ = register("ext-loss", func(opts Options, w io.Writer) error {
+	res, err := RunLossRobustness([]float64{0, 1, 4}, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})

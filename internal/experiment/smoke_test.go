@@ -1,0 +1,119 @@
+package experiment
+
+// Smoke tests for the registered runners' output paths (the heavy
+// scenario assertions live in paper_test.go).
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSmokeFig4(t *testing.T) {
+	if err := Run("fig4", Options{}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmokeFig6(t *testing.T) {
+	if err := Run("fig6", Options{}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmokeFig1(t *testing.T) {
+	if err := Run("fig1", Options{}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnersRegistered(t *testing.T) {
+	want := []string{
+		"abl-alpha", "abl-buffer", "abl-inherit", "abl-probe", "eq22",
+		"ext-deadline", "ext-delay", "ext-jitter", "ext-loss", "ext-scatter",
+		"fig1", "fig10", "fig11", "fig12", "fig13", "fig13a",
+		"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	err := Run("nope", Options{}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "unknown id") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWriteTableAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Header:  []string{"col", "longer column"},
+		Rows:    [][]string{{"a-very-long-cell", "b"}, {"c", "d"}},
+		Caption: "caption",
+	}
+	var sb strings.Builder
+	if err := tbl.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== Demo ==", "a-very-long-cell", "-- caption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header and first row must align on the second column.
+	if strings.Index(lines[1], "longer column") != strings.Index(lines[2], "b") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestNewCCAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{
+		ProtoTCP, ProtoTRIM, ProtoDCTCP, ProtoL2DCT, ProtoCUBIC, ProtoGIP,
+		ProtoTRIMNoProbe, ProtoTRIMNoQueue,
+	} {
+		policy, err := NewCC(p)
+		if err != nil {
+			t.Errorf("NewCC(%s): %v", p, err)
+			continue
+		}
+		if policy.Name() == "" {
+			t.Errorf("NewCC(%s): empty name", p)
+		}
+	}
+	if _, err := NewCC(Protocol("bogus")); err == nil {
+		t.Error("bogus protocol should error")
+	}
+}
+
+func TestUsesECN(t *testing.T) {
+	if !UsesECN(ProtoDCTCP) || !UsesECN(ProtoL2DCT) {
+		t.Error("DCTCP/L2DCT need ECN")
+	}
+	if UsesECN(ProtoTCP) || UsesECN(ProtoTRIM) || UsesECN(ProtoCUBIC) {
+		t.Error("non-ECN protocols flagged")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 {
+		t.Errorf("default seed = %d", o.seed())
+	}
+	if o.reps(3) != 3 {
+		t.Errorf("default reps = %d", o.reps(3))
+	}
+	o = Options{Seed: 9, Reps: 5}
+	if o.seed() != 9 || o.reps(3) != 5 {
+		t.Errorf("explicit options ignored: %d %d", o.seed(), o.reps(3))
+	}
+}

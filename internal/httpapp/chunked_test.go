@@ -1,0 +1,85 @@
+package httpapp
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/core"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+)
+
+// newTrimStar builds a 1-sender star whose fleet runs TCP-TRIM.
+func newTrimStar(t *testing.T, sched *sim.Scheduler) (*topology.Star, *Fleet) {
+	t.Helper()
+	star := topology.NewStar(sched, 1, topology.DefaultStarLink(100))
+	fleet, err := NewFleet(star.Net, FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC:    func() tcp.CongestionControl { return core.New(core.Config{}) },
+		Base:     tcp.Config{LinkRate: netsim.Gbps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return star, fleet
+}
+
+func TestChunkedFlowRunsBetweenStartAndStop(t *testing.T) {
+	_, fleet, sched := newStarFleet(t, 1, tcp.Config{})
+	start := sim.At(100 * time.Millisecond)
+	stop := sim.At(300 * time.Millisecond)
+	if err := fleet.Servers[0].StartChunkedFlow(start, stop, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	conn := fleet.Conns[0]
+
+	sched.RunUntil(sim.At(50 * time.Millisecond))
+	if conn.DeliveredBytes() != 0 {
+		t.Fatal("flow started early")
+	}
+	sched.RunUntil(sim.At(200 * time.Millisecond))
+	mid := conn.DeliveredBytes()
+	if mid == 0 {
+		t.Fatal("flow not running mid-window")
+	}
+	sched.RunUntil(sim.At(2 * time.Second))
+	final := conn.DeliveredBytes()
+	if final <= mid {
+		t.Error("flow did not progress through the window")
+	}
+	// After stop, at most the two outstanding chunks drain.
+	if final > mid+int64(3*(64<<10))+(200*125000) {
+		t.Errorf("flow kept sending after stop: %d vs %d", final, mid)
+	}
+	// Roughly: ~200 ms at ~1 Gbps payload ≈ 24 MB; require at least half
+	// (the flow must actually keep the pipe busy, not trickle).
+	if final < 12<<20 {
+		t.Errorf("delivered only %d bytes in 200 ms of 1 Gbps", final)
+	}
+}
+
+func TestChunkedFlowDoesNotTriggerTrimProbes(t *testing.T) {
+	// Double buffering must keep the send buffer non-empty so TRIM sees
+	// no inter-train gaps mid-flow (no ON/OFF artifacts at chunk
+	// boundaries).
+	sched := sim.NewScheduler()
+	star, fleet := newTrimStar(t, sched)
+	_ = star
+	if err := fleet.Servers[0].StartChunkedFlow(
+		sim.At(100*time.Millisecond), sim.At(600*time.Millisecond), 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.At(700 * time.Millisecond))
+	trim, ok := fleet.Conns[0].CC().(probeCounter)
+	if !ok {
+		t.Fatal("policy does not expose probe rounds")
+	}
+	if got := trim.ProbeRounds(); got > 1 {
+		t.Errorf("probe rounds = %d; chunk boundaries must not look like gaps", got)
+	}
+}
+
+type probeCounter interface{ ProbeRounds() int }

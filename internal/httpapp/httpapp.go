@@ -1,0 +1,244 @@
+// Package httpapp models the paper's HTTP workload layer: persistent TCP
+// connections from back-end servers to a front-end, carrying scheduled
+// response packet trains (the ON/OFF pattern of Section II.A), plus the
+// collector that records per-response completion times for the
+// experiments' ACT/ARCT metrics.
+package httpapp
+
+import (
+	"fmt"
+	"time"
+
+	"tcptrim/internal/metrics"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/workload"
+)
+
+// Response records the lifecycle of one HTTP response (packet train).
+type Response struct {
+	// Label identifies the sending server / connection group.
+	Label string
+	// Bytes is the response payload size.
+	Bytes int
+	// Released / Completed bracket the sender-observed transfer.
+	Released  sim.Time
+	Completed sim.Time
+}
+
+// CompletionTime is the sender-observed response completion time.
+func (r Response) CompletionTime() time.Duration {
+	return r.Completed.Sub(r.Released)
+}
+
+// Collector accumulates completed responses across servers.
+type Collector struct {
+	responses []Response
+	pending   int
+}
+
+// Add records a completed response.
+func (c *Collector) Add(label string, bytes int, res tcp.TrainResult) {
+	c.responses = append(c.responses, Response{
+		Label:     label,
+		Bytes:     bytes,
+		Released:  res.Released,
+		Completed: res.Completed,
+	})
+}
+
+// Responses returns all completed responses (shared slice; callers must
+// not mutate it).
+func (c *Collector) Responses() []Response { return c.responses }
+
+// Pending returns the number of scheduled responses not yet completed.
+func (c *Collector) Pending() int { return c.pending }
+
+// CompletionTimes returns the distribution of completion times, filtered
+// by filter (nil keeps everything).
+func (c *Collector) CompletionTimes(filter func(Response) bool) *metrics.Distribution {
+	var d metrics.Distribution
+	for _, r := range c.responses {
+		if filter == nil || filter(r) {
+			d.AddDuration(r.CompletionTime())
+		}
+	}
+	return &d
+}
+
+// ByLabel returns a filter matching one label.
+func ByLabel(label string) func(Response) bool {
+	return func(r Response) bool { return r.Label == label }
+}
+
+// BySizeRange returns a filter keeping responses with lo ≤ Bytes ≤ hi
+// (the Fig. 13 "64 KB to 256 KB" sample selection).
+func BySizeRange(lo, hi int) func(Response) bool {
+	return func(r Response) bool { return r.Bytes >= lo && r.Bytes <= hi }
+}
+
+// Server drives one persistent connection: responses scheduled on it are
+// appended to the connection's byte stream at their release times.
+type Server struct {
+	sched     *sim.Scheduler
+	conn      *tcp.Conn
+	label     string
+	collector *Collector
+}
+
+// NewServer wraps conn; completions are reported to collector under
+// label.
+func NewServer(sched *sim.Scheduler, conn *tcp.Conn, label string, collector *Collector) *Server {
+	return &Server{sched: sched, conn: conn, label: label, collector: collector}
+}
+
+// Conn returns the underlying connection.
+func (s *Server) Conn() *tcp.Conn { return s.conn }
+
+// Label returns the server's collector label.
+func (s *Server) Label() string { return s.label }
+
+// ScheduleResponse releases a response of the given size at the given
+// instant.
+func (s *Server) ScheduleResponse(at sim.Time, bytes int) error {
+	s.collector.pending++
+	_, err := s.sched.At(at, func() {
+		s.conn.SendTrain(bytes, func(res tcp.TrainResult) {
+			s.collector.pending--
+			s.collector.Add(s.label, bytes, res)
+		})
+	})
+	if err != nil {
+		s.collector.pending--
+		return fmt.Errorf("schedule response at %v: %w", at, err)
+	}
+	return nil
+}
+
+// ScheduleTrains releases a whole workload schedule.
+func (s *Server) ScheduleTrains(trains []workload.Train) error {
+	for _, tr := range trains {
+		if err := s.ScheduleResponse(tr.At, tr.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartBackgroundFlow releases an effectively endless train at the given
+// instant: the paper's "LPTs running throughout the test". Its completion
+// is not reported to the collector; measure it by throughput instead.
+func (s *Server) StartBackgroundFlow(at sim.Time, bytes int) error {
+	_, err := s.sched.At(at, func() { s.conn.SendTrain(bytes, nil) })
+	if err != nil {
+		return fmt.Errorf("schedule background flow at %v: %w", at, err)
+	}
+	return nil
+}
+
+// StartChunkedFlow keeps the connection busy from start to stop by
+// feeding fixed-size chunks with two always outstanding (double
+// buffering, so the send buffer never drains and no ON/OFF gap appears).
+// Used for the convergence test's long flows that must stop at a given
+// instant. Completions are not reported to the collector.
+func (s *Server) StartChunkedFlow(start, stop sim.Time, chunkBytes int) error {
+	var refill func(tcp.TrainResult)
+	refill = func(tcp.TrainResult) {
+		if s.sched.Now() >= stop {
+			return
+		}
+		s.conn.SendTrain(chunkBytes, refill)
+	}
+	_, err := s.sched.At(start, func() {
+		s.conn.SendTrain(chunkBytes, refill)
+		s.conn.SendTrain(chunkBytes, refill)
+	})
+	if err != nil {
+		return fmt.Errorf("schedule chunked flow at %v: %w", start, err)
+	}
+	return nil
+}
+
+// Fleet wires a group of sender hosts to a single front-end with one
+// persistent connection each, a common base configuration, and a fresh
+// congestion-control policy per connection.
+type Fleet struct {
+	Servers   []*Server
+	Conns     []*tcp.Conn
+	Collector *Collector
+	frontEnd  *tcp.Stack
+}
+
+// FleetConfig configures NewFleet.
+type FleetConfig struct {
+	// Senders are the back-end hosts; FrontEnd receives every response.
+	Senders  []*netsim.Host
+	FrontEnd *netsim.Host
+	// NewCC creates the per-connection window policy (nil → Reno).
+	NewCC func() tcp.CongestionControl
+	// Base provides shared tcp.Config fields (MinRTO, ECN, LinkRate,
+	// windows); Sender/Receiver/Flow/CC are filled per connection.
+	Base tcp.Config
+	// FirstFlow is the first flow id to assign (sequential after it).
+	FirstFlow netsim.FlowID
+	// LabelPrefix labels servers "<prefix><index+1>" (default "server").
+	LabelPrefix string
+}
+
+// NewFleet builds one persistent connection per sender.
+func NewFleet(net *netsim.Network, cfg FleetConfig) (*Fleet, error) {
+	if cfg.FrontEnd == nil {
+		return nil, fmt.Errorf("httpapp: front end required")
+	}
+	if cfg.LabelPrefix == "" {
+		cfg.LabelPrefix = "server"
+	}
+	if cfg.FirstFlow == 0 {
+		cfg.FirstFlow = 1
+	}
+	sched := net.Scheduler()
+	f := &Fleet{
+		Collector: &Collector{},
+		frontEnd:  tcp.NewStack(net, cfg.FrontEnd),
+	}
+	for i, h := range cfg.Senders {
+		c := cfg.Base
+		c.Sender = tcp.NewStack(net, h)
+		c.Receiver = f.frontEnd
+		c.Flow = cfg.FirstFlow + netsim.FlowID(i)
+		if cfg.NewCC != nil {
+			c.CC = cfg.NewCC()
+		}
+		conn, err := tcp.NewConn(c)
+		if err != nil {
+			return nil, fmt.Errorf("fleet conn %d: %w", i, err)
+		}
+		f.Conns = append(f.Conns, conn)
+		label := fmt.Sprintf("%s%d", cfg.LabelPrefix, i+1)
+		f.Servers = append(f.Servers, NewServer(sched, conn, label, f.Collector))
+	}
+	return f, nil
+}
+
+// FrontEndStack returns the shared receiver stack (for wiring additional
+// connections to the same front-end).
+func (f *Fleet) FrontEndStack() *tcp.Stack { return f.frontEnd }
+
+// TotalTimeouts sums TCP timeouts across the fleet's connections.
+func (f *Fleet) TotalTimeouts() int {
+	total := 0
+	for _, c := range f.Conns {
+		total += c.Stats().Timeouts
+	}
+	return total
+}
+
+// TotalDelivered sums receiver-side delivered bytes across connections.
+func (f *Fleet) TotalDelivered() int64 {
+	var total int64
+	for _, c := range f.Conns {
+		total += c.DeliveredBytes()
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+package httpapp
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+)
+
+// rpcStar wires bidirectional connections between the front-end and every
+// sender: requests flow front-end → server, responses back.
+func rpcStar(t *testing.T, n int) (*sim.Scheduler, []*RPC, *Collector) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	star := topology.NewStar(sched, n, topology.DefaultStarLink(100))
+	feStack := tcp.NewStack(star.Net, star.FrontEnd)
+	out := &Collector{}
+	var rpcs []*RPC
+	for i, h := range star.Senders {
+		srvStack := tcp.NewStack(star.Net, h)
+		req, err := tcp.NewConn(tcp.Config{
+			Sender: feStack, Receiver: srvStack,
+			Flow:   netsim.FlowID(1000 + i),
+			MinRTO: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := tcp.NewConn(tcp.Config{
+			Sender: srvStack, Receiver: feStack,
+			Flow:   netsim.FlowID(2000 + i),
+			MinRTO: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rpcs = append(rpcs, NewRPC(sched, req, resp, "srv", out))
+	}
+	return sched, rpcs, out
+}
+
+func TestRPCCallRoundTrip(t *testing.T) {
+	sched, rpcs, out := rpcStar(t, 1)
+	if err := rpcs[0].Call(sim.At(time.Millisecond), 400, 20*tcp.DefaultMSS, 100*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.At(time.Second))
+	rs := out.Responses()
+	if len(rs) != 1 {
+		t.Fatalf("responses = %d", len(rs))
+	}
+	ct := rs[0].CompletionTime()
+	// Must include request RTT + think + response transfer: well above
+	// a bare one-way response, well below a timeout.
+	if ct < 500*time.Microsecond || ct > 10*time.Millisecond {
+		t.Errorf("round-trip = %v", ct)
+	}
+	if out.Pending() != 0 {
+		t.Errorf("pending = %d", out.Pending())
+	}
+}
+
+func TestRPCRejectsBadSizes(t *testing.T) {
+	sched, rpcs, _ := rpcStar(t, 1)
+	_ = sched
+	if err := rpcs[0].Call(0, 0, 100, 0); err == nil {
+		t.Error("zero request size should error")
+	}
+	if err := rpcs[0].Call(0, 100, -1, 0); err == nil {
+		t.Error("negative response size should error")
+	}
+}
+
+func TestScatterGatherBarrier(t *testing.T) {
+	sched, rpcs, out := rpcStar(t, 8)
+	sg := NewScatterGather(sched, rpcs, out)
+	var barrier time.Duration
+	err := sg.Scatter(sim.At(time.Millisecond), 400, 30*tcp.DefaultMSS,
+		100*time.Microsecond, func(d time.Duration) { barrier = d })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.At(2 * time.Second))
+
+	rs := out.Responses()
+	if len(rs) != 8 {
+		t.Fatalf("responses = %d, want 8", len(rs))
+	}
+	if barrier == 0 {
+		t.Fatal("barrier callback never fired")
+	}
+	// The barrier equals the slowest worker's completion.
+	var worst time.Duration
+	for _, r := range rs {
+		if ct := r.CompletionTime(); ct > worst {
+			worst = ct
+		}
+	}
+	if barrier < worst {
+		t.Errorf("barrier %v below slowest worker %v", barrier, worst)
+	}
+	// 8×30 segments through one 1 Gbps link: at least the serialization
+	// floor.
+	if barrier < 2*time.Millisecond {
+		t.Errorf("barrier %v implausibly fast", barrier)
+	}
+}
+
+func TestScatterGatherEmptyWorkers(t *testing.T) {
+	sched := sim.NewScheduler()
+	sg := NewScatterGather(sched, nil, &Collector{})
+	if err := sg.Scatter(0, 100, 100, 0, nil); err == nil {
+		t.Error("scatter over zero workers should error")
+	}
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCSV renders the series as "seconds,value" rows with a header, the
+// format the experiment harness exports for plotting the paper's
+// time-series figures.
+func (s *Series) WriteCSV(w io.Writer, valueName string) error {
+	if _, err := fmt.Fprintf(w, "seconds,%s\n", valueName); err != nil {
+		return err
+	}
+	for _, p := range s.points {
+		if _, err := fmt.Fprintf(w, "%.9f,%g\n", p.At.Seconds(), p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the distribution's empirical CDF as "value,fraction"
+// rows.
+func (d *Distribution) WriteCSV(w io.Writer, valueName string, points int) error {
+	if _, err := fmt.Fprintf(w, "%s,fraction\n", valueName); err != nil {
+		return err
+	}
+	for _, p := range d.CDF(points) {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", p.Value, p.Fraction); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+func TestSeriesWriteCSV(t *testing.T) {
+	var s Series
+	s.Record(sim.At(time.Millisecond), 42)
+	s.Record(sim.At(2*time.Millisecond), 43.5)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb, "mbps"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), sb.String())
+	}
+	if lines[0] != "seconds,mbps" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.001000000,42" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "0.002000000,43.5" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestDistributionWriteCSV(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	var sb strings.Builder
+	if err := d.WriteCSV(&sb, "ms", 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "ms,fraction" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[10], ",1") {
+		t.Errorf("last row = %q, want fraction 1", lines[10])
+	}
+}

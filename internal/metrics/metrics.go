@@ -1,0 +1,268 @@
+// Package metrics provides the measurement helpers the experiment harness
+// uses: streaming summaries (Welford), sample distributions with
+// percentiles and CDFs, time-binned series for throughput, and a periodic
+// sampler for queue lengths and window traces.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// Summary accumulates streaming statistics without retaining samples.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Std returns the sample standard deviation (0 for n < 2).
+func (s *Summary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Distribution retains samples for percentile and CDF queries.
+type Distribution struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (d *Distribution) Add(x float64) {
+	d.samples = append(d.samples, x)
+	d.sorted = false
+}
+
+// AddDuration appends a duration sample in seconds.
+func (d *Distribution) AddDuration(v time.Duration) { d.Add(v.Seconds()) }
+
+// Count returns the number of samples.
+func (d *Distribution) Count() int { return len(d.samples) }
+
+// Mean returns the sample mean (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Min returns the smallest sample (0 when empty).
+func (d *Distribution) Min() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[0]
+}
+
+// Max returns the largest sample (0 when empty).
+func (d *Distribution) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1]
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using nearest-rank
+// interpolation; 0 when empty.
+func (d *Distribution) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := p / 100 * float64(len(d.samples)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(d.samples) {
+		return d.samples[lo]
+	}
+	return d.samples[lo]*(1-frac) + d.samples[lo+1]*frac
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF at up to points evenly spaced ranks.
+func (d *Distribution) CDF(points int) []CDFPoint {
+	n := len(d.samples)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	d.ensureSorted()
+	if points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := i*n/points - 1
+		out = append(out, CDFPoint{
+			Value:    d.samples[idx],
+			Fraction: float64(idx+1) / float64(n),
+		})
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of samples ≤ x.
+func (d *Distribution) FractionBelow(x float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	idx := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(d.samples))
+}
+
+func (d *Distribution) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// TimePoint is one (time, value) observation.
+type TimePoint struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is an append-only time series of observations.
+type Series struct {
+	points []TimePoint
+}
+
+// Record appends an observation.
+func (s *Series) Record(at sim.Time, v float64) {
+	s.points = append(s.points, TimePoint{At: at, Value: v})
+}
+
+// Points returns the recorded observations (shared slice; callers must
+// not mutate it).
+func (s *Series) Points() []TimePoint { return s.points }
+
+// Max returns the largest recorded value (0 when empty).
+func (s *Series) Max() float64 {
+	var out float64
+	for i, p := range s.points {
+		if i == 0 || p.Value > out {
+			out = p.Value
+		}
+	}
+	return out
+}
+
+// Mean returns the mean of the recorded values (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.points))
+}
+
+// Sample registers a periodic sampler on sched: every interval from start
+// until end it records fn() into a Series.
+func Sample(sched *sim.Scheduler, start, end sim.Time, interval time.Duration, fn func() float64) *Series {
+	out := &Series{}
+	if interval <= 0 || end < start {
+		return out
+	}
+	var tick func()
+	tick = func() {
+		now := sched.Now()
+		out.Record(now, fn())
+		if next := now.Add(interval); next <= end {
+			sched.After(interval, tick)
+		}
+	}
+	// Tolerate a start in the past by beginning at the current instant.
+	if _, err := sched.At(start, tick); err != nil {
+		sched.After(0, tick)
+	}
+	return out
+}
+
+// BinnedRate converts cumulative byte counts sampled over time into a
+// per-bin throughput series in bits per second. fn must return a
+// monotonically nondecreasing cumulative count.
+func BinnedRate(sched *sim.Scheduler, start, end sim.Time, bin time.Duration, fn func() int64) *Series {
+	out := &Series{}
+	if bin <= 0 || end < start {
+		return out
+	}
+	var prev int64
+	first := true
+	var tick func()
+	tick = func() {
+		now := sched.Now()
+		cur := fn()
+		if first {
+			prev, first = cur, false
+		} else {
+			bits := float64(cur-prev) * 8
+			out.Record(now, bits/bin.Seconds())
+			prev = cur
+		}
+		if next := now.Add(bin); next <= end {
+			sched.After(bin, tick)
+		}
+	}
+	if _, err := sched.At(start, tick); err != nil {
+		sched.After(0, tick)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample std of that classic set is sqrt(32/7) ≈ 2.138.
+	if math.Abs(s.Std()-math.Sqrt(32.0/7)) > 1e-9 {
+		t.Errorf("Std = %v", s.Std())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Count() != 0 {
+		t.Error("empty summary must be all zeros")
+	}
+	s.Add(42)
+	if s.Mean() != 42 || s.Min() != 42 || s.Max() != 42 || s.Std() != 0 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var s Summary
+		var sum float64
+		for _, x := range xs {
+			// Constrain magnitude for numeric comparability.
+			x = math.Mod(x, 1e6)
+			if math.IsNaN(x) {
+				x = 0
+			}
+			s.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return s.Count() == 0
+		}
+		naive := sum / float64(len(xs))
+		return math.Abs(s.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionPercentiles(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := d.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := d.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := d.Percentile(99); math.Abs(got-99.01) > 0.1 {
+		t.Errorf("P99 = %v", got)
+	}
+	if d.Min() != 1 || d.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestDistributionCDF(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i))
+	}
+	cdf := d.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("CDF points = %d", len(cdf))
+	}
+	if cdf[9].Fraction != 1 {
+		t.Errorf("last fraction = %v", cdf[9].Fraction)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 10; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.FractionBelow(5); got != 0.5 {
+		t.Errorf("FractionBelow(5) = %v", got)
+	}
+	if got := d.FractionBelow(0); got != 0 {
+		t.Errorf("FractionBelow(0) = %v", got)
+	}
+	if got := d.FractionBelow(100); got != 1 {
+		t.Errorf("FractionBelow(100) = %v", got)
+	}
+}
+
+func TestDistributionAddAfterQuery(t *testing.T) {
+	var d Distribution
+	d.Add(10)
+	_ = d.Percentile(50)
+	d.Add(1) // must re-sort lazily
+	if d.Min() != 1 {
+		t.Errorf("Min after late add = %v", d.Min())
+	}
+}
+
+func TestSamplePeriodic(t *testing.T) {
+	sched := sim.NewScheduler()
+	v := 0.0
+	series := Sample(sched, sim.At(10*time.Millisecond), sim.At(50*time.Millisecond),
+		10*time.Millisecond, func() float64 { v++; return v })
+	sched.Run()
+	pts := series.Points()
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	if pts[0].At != sim.At(10*time.Millisecond) || pts[4].At != sim.At(50*time.Millisecond) {
+		t.Errorf("sample times wrong: %v .. %v", pts[0].At, pts[4].At)
+	}
+	if series.Max() != 5 || series.Mean() != 3 {
+		t.Errorf("Max/Mean = %v/%v", series.Max(), series.Mean())
+	}
+}
+
+func TestBinnedRate(t *testing.T) {
+	sched := sim.NewScheduler()
+	var bytes int64
+	// Produce 1250 bytes per ms = 10 Mbps, offset to mid-bin so the
+	// result is insensitive to same-instant event ordering.
+	var feed func()
+	feed = func() {
+		bytes += 1250
+		if sched.Now() < sim.At(9*time.Millisecond) {
+			sched.After(time.Millisecond, feed)
+		}
+	}
+	sched.After(500*time.Microsecond, feed)
+	series := BinnedRate(sched, 0, sim.At(10*time.Millisecond), time.Millisecond,
+		func() int64 { return bytes })
+	sched.Run()
+	pts := series.Points()
+	if len(pts) != 10 {
+		t.Fatalf("points = %d, want 10", len(pts))
+	}
+	for _, p := range pts[1:] {
+		if math.Abs(p.Value-10e6) > 1 {
+			t.Fatalf("rate = %v, want 10 Mbps", p.Value)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// star builds N hosts attached to one switch plus a front-end host, the
+// paper's many-to-one scenario.
+func star(sched *sim.Scheduler, n int, cfg LinkConfig) (*Network, []*Host, *Host) {
+	net := NewNetwork(sched)
+	sw := net.AddSwitch("tor")
+	senders := make([]*Host, n)
+	for i := range senders {
+		senders[i] = net.AddHost("")
+		net.Connect(senders[i], sw, cfg)
+	}
+	fe := net.AddHost("frontend")
+	net.Connect(sw, fe, cfg)
+	return net, senders, fe
+}
+
+func TestPacketDeliveryAcrossSwitch(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := LinkConfig{Rate: Gbps, Delay: 50 * time.Microsecond, Queue: QueueConfig{CapPackets: 100}}
+	_, senders, fe := star(sched, 2, cfg)
+
+	var gotAt sim.Time
+	var got *Packet
+	fe.SetHandler(func(p *Packet) { got, gotAt = p, sched.Now() })
+
+	pkt := &Packet{ID: 7, Flow: 1, Src: senders[0].ID(), Dst: fe.ID(), Size: 1500, Payload: 1460}
+	sched.After(0, func() { senders[0].Send(pkt) })
+	sched.Run()
+
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.ID != 7 {
+		t.Errorf("got packet %d", got.ID)
+	}
+	// Two hops: 2 × (12µs serialization + 50µs propagation) = 124µs.
+	want := sim.At(124 * time.Microsecond)
+	if gotAt != want {
+		t.Errorf("delivered at %v, want %v", gotAt, want)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	h := net.AddHost("h")
+	delivered := false
+	h.SetHandler(func(*Packet) { delivered = true })
+	h.Send(&Packet{Src: h.ID(), Dst: h.ID(), Size: 1500})
+	if !delivered {
+		t.Error("loopback packet not delivered synchronously")
+	}
+}
+
+func TestNoRouteDrops(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b") // not connected
+	a.Send(&Packet{Src: a.ID(), Dst: b.ID(), Size: 1500})
+	sched.Run()
+	if net.Stats().RoutingDrops != 1 {
+		t.Errorf("RoutingDrops = %d, want 1", net.Stats().RoutingDrops)
+	}
+}
+
+func TestSerializationBacklog(t *testing.T) {
+	// Ten packets offered at once to a 1 Gbps pipe serialize back to
+	// back: delivery k at (k+1)*12µs + 50µs.
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	net.Connect(a, b, LinkConfig{Rate: Gbps, Delay: 50 * time.Microsecond, Queue: QueueConfig{CapPackets: 100}})
+
+	var arrivals []sim.Time
+	b.SetHandler(func(*Packet) { arrivals = append(arrivals, sched.Now()) })
+	sched.After(0, func() {
+		for i := 0; i < 10; i++ {
+			a.Send(&Packet{ID: uint64(i), Src: a.ID(), Dst: b.ID(), Size: 1500})
+		}
+	})
+	sched.Run()
+
+	if len(arrivals) != 10 {
+		t.Fatalf("delivered %d, want 10", len(arrivals))
+	}
+	for k, at := range arrivals {
+		want := sim.At(time.Duration(k+1)*12*time.Microsecond + 50*time.Microsecond)
+		if at != want {
+			t.Errorf("packet %d at %v, want %v", k, at, want)
+		}
+	}
+}
+
+func TestTailDropUnderOverload(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	ab, _ := net.Connect(a, b, LinkConfig{Rate: Gbps, Delay: time.Microsecond, Queue: QueueConfig{CapPackets: 5}})
+
+	delivered := 0
+	b.SetHandler(func(*Packet) { delivered++ })
+	sched.After(0, func() {
+		for i := 0; i < 20; i++ {
+			a.Send(&Packet{ID: uint64(i), Src: a.ID(), Dst: b.ID(), Size: 1500})
+		}
+	})
+	sched.Run()
+
+	// 1 in flight + 5 queued = 6 delivered, 14 dropped.
+	if delivered != 6 {
+		t.Errorf("delivered = %d, want 6", delivered)
+	}
+	if drops := ab.Queue().Stats().Dropped; drops != 14 {
+		t.Errorf("drops = %d, want 14", drops)
+	}
+}
+
+func TestManyToOneConvergesOnBottleneck(t *testing.T) {
+	// 5 senders × 20 packets into one egress: all 100 arrive (queue big
+	// enough), and the last arrival is governed by the bottleneck rate.
+	sched := sim.NewScheduler()
+	cfg := LinkConfig{Rate: Gbps, Delay: 50 * time.Microsecond, Queue: QueueConfig{CapPackets: 200}}
+	_, senders, fe := star(sched, 5, cfg)
+
+	count := 0
+	var last sim.Time
+	fe.SetHandler(func(*Packet) { count++; last = sched.Now() })
+	sched.After(0, func() {
+		for i, s := range senders {
+			for k := 0; k < 20; k++ {
+				s.Send(&Packet{ID: uint64(i*100 + k), Flow: FlowID(i), Src: s.ID(), Dst: fe.ID(), Size: 1500})
+			}
+		}
+	})
+	sched.Run()
+
+	if count != 100 {
+		t.Fatalf("delivered %d, want 100", count)
+	}
+	// 100 packets × 12µs serialization on the bottleneck ≈ 1.2ms floor.
+	if last < sim.At(1200*time.Microsecond) {
+		t.Errorf("last arrival %v is faster than bottleneck allows", last)
+	}
+}
+
+func TestECMPSplitsFlows(t *testing.T) {
+	// Two equal-cost paths between edge switches; many flows should use
+	// both.
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	src := net.AddHost("src")
+	dst := net.AddHost("dst")
+	in := net.AddSwitch("in")
+	outSw := net.AddSwitch("out")
+	mid1 := net.AddSwitch("mid1")
+	mid2 := net.AddSwitch("mid2")
+	cfg := LinkConfig{Rate: Gbps, Delay: time.Microsecond, Queue: QueueConfig{CapPackets: 1000}}
+	net.Connect(src, in, cfg)
+	p1, _ := net.Connect(in, mid1, cfg)
+	p2, _ := net.Connect(in, mid2, cfg)
+	net.Connect(mid1, outSw, cfg)
+	net.Connect(mid2, outSw, cfg)
+	net.Connect(outSw, dst, cfg)
+
+	delivered := 0
+	dst.SetHandler(func(*Packet) { delivered++ })
+	sched.After(0, func() {
+		for f := 0; f < 64; f++ {
+			src.Send(&Packet{ID: uint64(f), Flow: FlowID(f), Src: src.ID(), Dst: dst.ID(), Size: 1500})
+		}
+	})
+	sched.Run()
+
+	if delivered != 64 {
+		t.Fatalf("delivered %d, want 64", delivered)
+	}
+	s1, s2 := p1.Stats().SentPackets, p2.Stats().SentPackets
+	if s1+s2 != 64 {
+		t.Fatalf("paths carried %d+%d, want 64 total", s1, s2)
+	}
+	if s1 == 0 || s2 == 0 {
+		t.Errorf("ECMP did not split flows: %d vs %d", s1, s2)
+	}
+}
+
+func TestECMPFlowStickiness(t *testing.T) {
+	// All packets of one flow must take the same path (no reordering by
+	// the network).
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	src := net.AddHost("src")
+	dst := net.AddHost("dst")
+	in := net.AddSwitch("in")
+	outSw := net.AddSwitch("out")
+	mid1 := net.AddSwitch("mid1")
+	mid2 := net.AddSwitch("mid2")
+	cfg := LinkConfig{Rate: Gbps, Delay: time.Microsecond, Queue: QueueConfig{CapPackets: 1000}}
+	net.Connect(src, in, cfg)
+	p1, _ := net.Connect(in, mid1, cfg)
+	p2, _ := net.Connect(in, mid2, cfg)
+	net.Connect(mid1, outSw, cfg)
+	net.Connect(mid2, outSw, cfg)
+	net.Connect(outSw, dst, cfg)
+
+	sched.After(0, func() {
+		for k := 0; k < 50; k++ {
+			src.Send(&Packet{ID: uint64(k), Flow: 99, Src: src.ID(), Dst: dst.ID(), Size: 1500})
+		}
+	})
+	sched.Run()
+
+	s1, s2 := p1.Stats().SentPackets, p2.Stats().SentPackets
+	if s1 != 0 && s2 != 0 {
+		t.Errorf("flow split across paths: %d vs %d", s1, s2)
+	}
+	if s1+s2 != 50 {
+		t.Errorf("carried %d, want 50", s1+s2)
+	}
+}
+
+func TestRoutesInvalidatedByConnect(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	delivered := 0
+	b.SetHandler(func(*Packet) { delivered++ })
+
+	a.Send(&Packet{Src: a.ID(), Dst: b.ID(), Size: 1500})
+	sched.Run()
+	if delivered != 0 {
+		t.Fatal("delivered before any link existed")
+	}
+
+	net.Connect(a, b, LinkConfig{Rate: Gbps, Delay: time.Microsecond, Queue: QueueConfig{CapPackets: 10}})
+	a.Send(&Packet{Src: a.ID(), Dst: b.ID(), Size: 1500})
+	sched.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d after link added, want 1", delivered)
+	}
+}
+
+func TestHostAndSwitchNames(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	h := net.AddHost("")
+	s := net.AddSwitch("")
+	if h.Name() == "" || s.Name() == "" {
+		t.Error("auto-generated names must be non-empty")
+	}
+	named := net.AddHost("frontend")
+	if named.Name() != "frontend" {
+		t.Errorf("Name = %q", named.Name())
+	}
+	if net.Node(named.ID()) != Node(named) {
+		t.Error("Node lookup by id failed")
+	}
+	if net.Node(NodeID(999)) != nil {
+		t.Error("out-of-range lookup should be nil")
+	}
+}

@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// Bitrate is a link transmission rate in bits per second.
+type Bitrate int64
+
+// Common rates.
+const (
+	Kbps Bitrate = 1_000
+	Mbps Bitrate = 1_000_000
+	Gbps Bitrate = 1_000_000_000
+)
+
+// TransmitTime returns the serialization delay of size bytes at rate r.
+func (r Bitrate) TransmitTime(size int) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(int64(size) * 8 * int64(time.Second) / int64(r))
+}
+
+// PacketsPerSecond returns the capacity of the link in packets of the
+// given wire size per second — the "C" of the paper's Eq. 22.
+func (r Bitrate) PacketsPerSecond(packetSize int) float64 {
+	if packetSize <= 0 {
+		return 0
+	}
+	return float64(r) / (8 * float64(packetSize))
+}
+
+// PipeStats aggregates lifetime counters for one pipe direction.
+type PipeStats struct {
+	SentPackets int
+	SentBytes   int64
+	// LossDrops counts packets destroyed by injected random loss.
+	LossDrops int
+}
+
+// Pipe is a unidirectional link: an egress queue feeding a transmitter
+// with a fixed rate and propagation delay. A full-duplex cable is a pair
+// of pipes created by Network.Connect.
+type Pipe struct {
+	sched *sim.Scheduler
+	from  Node
+	to    Node
+	rate  Bitrate
+	delay time.Duration
+	queue *Queue
+	busy  bool
+	stats PipeStats
+
+	// Failure injection: each offered packet is independently destroyed
+	// with probability lossRate, drawn from rng. Both are nil/zero in
+	// normal operation.
+	lossRate float64
+	rng      *rand.Rand
+
+	// Jitter injection: each packet's propagation delay is stretched by
+	// a uniform draw in [0, maxJitter]. FIFO order is preserved by never
+	// letting an arrival precede the previous one.
+	maxJitter   time.Duration
+	jitterRng   *rand.Rand
+	lastArrival sim.Time
+}
+
+// InjectJitter adds uniform random extra propagation delay in
+// [0, maxJitter] per packet, preserving FIFO delivery order. A nil rng or
+// non-positive maxJitter disables injection.
+func (p *Pipe) InjectJitter(maxJitter time.Duration, rng *rand.Rand) {
+	if maxJitter < 0 {
+		maxJitter = 0
+	}
+	p.maxJitter = maxJitter
+	p.jitterRng = rng
+}
+
+// InjectLoss enables random packet loss on this pipe direction for
+// failure-injection tests. rate is clamped to [0, 1]; a nil rng disables
+// injection.
+func (p *Pipe) InjectLoss(rate float64, rng *rand.Rand) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	p.lossRate = rate
+	p.rng = rng
+}
+
+// From returns the upstream node.
+func (p *Pipe) From() Node { return p.from }
+
+// To returns the downstream node.
+func (p *Pipe) To() Node { return p.to }
+
+// Rate returns the transmission rate.
+func (p *Pipe) Rate() Bitrate { return p.rate }
+
+// Delay returns the propagation delay.
+func (p *Pipe) Delay() time.Duration { return p.delay }
+
+// Queue exposes the egress queue (for monitoring and configuration
+// inspection by experiments).
+func (p *Pipe) Queue() *Queue { return p.queue }
+
+// Stats returns a copy of the transmit counters.
+func (p *Pipe) Stats() PipeStats { return p.stats }
+
+// Send offers pkt to the pipe. If the transmitter is idle the packet
+// starts serializing immediately; otherwise it joins the egress queue
+// (and may be tail-dropped).
+func (p *Pipe) Send(pkt *Packet) {
+	if p.rng != nil && p.lossRate > 0 && p.rng.Float64() < p.lossRate {
+		p.stats.LossDrops++
+		return
+	}
+	if !p.busy {
+		// An idle transmitter with a non-empty queue is impossible, so
+		// the packet goes straight to the wire. ECN marking only applies
+		// to queued packets, matching a switch that marks on enqueue.
+		p.transmit(pkt)
+		return
+	}
+	p.queue.Enqueue(pkt)
+}
+
+// transmit serializes pkt and schedules its arrival at the peer, then
+// pulls the next queued packet.
+func (p *Pipe) transmit(pkt *Packet) {
+	p.busy = true
+	p.stats.SentPackets++
+	p.stats.SentBytes += int64(pkt.Size)
+	txDone := p.rate.TransmitTime(pkt.Size)
+	p.sched.After(txDone, func() {
+		arrival := pkt
+		delay := p.delay
+		if p.jitterRng != nil && p.maxJitter > 0 {
+			delay += time.Duration(p.jitterRng.Int63n(int64(p.maxJitter) + 1))
+		}
+		at := p.sched.Now().Add(delay)
+		if at < p.lastArrival {
+			// Keep the wire FIFO: jitter may delay, never reorder.
+			at = p.lastArrival
+		}
+		p.lastArrival = at
+		if _, err := p.sched.At(at, func() {
+			p.to.Receive(arrival, p)
+		}); err != nil {
+			// Unreachable: at is never in the past.
+			p.sched.After(0, func() { p.to.Receive(arrival, p) })
+		}
+		if next := p.queue.Dequeue(); next != nil {
+			p.transmit(next)
+			return
+		}
+		p.busy = false
+	})
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+func TestPipeFIFOOrderProperty(t *testing.T) {
+	// Regardless of offered burst sizes, packets on one pipe arrive in
+	// the order they were offered (minus tail drops).
+	prop := func(bursts []uint8) bool {
+		sched := sim.NewScheduler()
+		net := NewNetwork(sched)
+		a := net.AddHost("a")
+		b := net.AddHost("b")
+		net.Connect(a, b, LinkConfig{
+			Rate:  Gbps,
+			Delay: 10 * time.Microsecond,
+			Queue: QueueConfig{CapPackets: 50},
+		})
+		var got []uint64
+		b.SetHandler(func(p *Packet) { got = append(got, p.ID) })
+		id := uint64(0)
+		for i, n := range bursts {
+			if i >= 6 {
+				break
+			}
+			at := sim.At(time.Duration(i*100) * time.Microsecond)
+			count := int(n%20) + 1
+			if _, err := sched.At(at, func() {
+				for k := 0; k < count; k++ {
+					id++
+					a.Send(&Packet{ID: id, Src: a.ID(), Dst: b.ID(), Size: 1500})
+				}
+			}); err != nil {
+				return false
+			}
+		}
+		sched.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeStatsAccumulate(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	ab, _ := net.Connect(a, b, LinkConfig{Rate: Gbps, Delay: time.Microsecond,
+		Queue: QueueConfig{CapPackets: 100}})
+	b.SetHandler(func(*Packet) {})
+	for i := 0; i < 7; i++ {
+		a.Send(&Packet{ID: uint64(i), Src: a.ID(), Dst: b.ID(), Size: 1500})
+	}
+	sched.Run()
+	st := ab.Stats()
+	if st.SentPackets != 7 || st.SentBytes != 7*1500 {
+		t.Errorf("stats = %+v", st)
+	}
+	if ab.Rate() != Gbps || ab.Delay() != time.Microsecond {
+		t.Error("accessors disagree with config")
+	}
+	if ab.From().Name() != "a" || ab.To().Name() != "b" {
+		t.Error("endpoint accessors wrong")
+	}
+}
+
+func TestEcmpHashDeterministicAndSpreading(t *testing.T) {
+	// Same inputs, same hash.
+	if ecmpHash(7, 3) != ecmpHash(7, 3) {
+		t.Error("hash not deterministic")
+	}
+	// Across many flows and 4 next hops, every bucket gets a reasonable
+	// share (no polarization).
+	const hops = 4
+	var buckets [hops]int
+	const flows = 4000
+	for f := 0; f < flows; f++ {
+		buckets[ecmpHash(FlowID(f), 5)%hops]++
+	}
+	for i, n := range buckets {
+		if n < flows/hops/2 || n > flows/hops*2 {
+			t.Errorf("bucket %d got %d of %d", i, n, flows)
+		}
+	}
+	// Different deciding nodes spread the same flow differently often
+	// enough to avoid polarization down the tree.
+	differs := 0
+	for f := 0; f < 100; f++ {
+		if ecmpHash(FlowID(f), 1)%hops != ecmpHash(FlowID(f), 2)%hops {
+			differs++
+		}
+	}
+	if differs < 30 {
+		t.Errorf("only %d/100 flows hash differently across nodes", differs)
+	}
+}
+
+func TestHostTapObservesWithoutConsuming(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	net.Connect(a, b, LinkConfig{Rate: Gbps, Delay: time.Microsecond,
+		Queue: QueueConfig{CapPackets: 10}})
+	tapped, handled := 0, 0
+	b.SetTap(func(*Packet) { tapped++ })
+	b.SetHandler(func(*Packet) { handled++ })
+	a.Send(&Packet{Src: a.ID(), Dst: b.ID(), Size: 1500})
+	sched.Run()
+	if tapped != 1 || handled != 1 {
+		t.Errorf("tapped=%d handled=%d", tapped, handled)
+	}
+}
+
+func TestQueueByteAndPacketCapsTogether(t *testing.T) {
+	q := NewQueue(QueueConfig{CapPackets: 3, CapBytes: 4000})
+	// Byte cap binds first here.
+	if !q.Enqueue(dataPkt(1, 1500)) || !q.Enqueue(dataPkt(2, 1500)) {
+		t.Fatal("first two must fit")
+	}
+	if q.Enqueue(dataPkt(3, 1500)) {
+		t.Error("byte cap should reject the third")
+	}
+	// Small packets until the packet cap binds.
+	if !q.Enqueue(&Packet{ID: 4, Size: 100}) {
+		t.Error("small packet should fit")
+	}
+	if q.Enqueue(&Packet{ID: 5, Size: 100}) {
+		t.Error("packet cap should reject the fourth")
+	}
+}

@@ -1,0 +1,118 @@
+package netsim
+
+// QueueStats aggregates lifetime counters for one queue.
+type QueueStats struct {
+	Enqueued int
+	Dropped  int
+	Marked   int
+	MaxLen   int // packets
+	MaxBytes int
+}
+
+// Queue is a drop-tail FIFO with capacity expressed in packets and/or
+// bytes (zero means "no limit in that unit") and an optional ECN marking
+// threshold. It matches the COTS-switch queue model the paper assumes:
+// tail drop, instantaneous-queue ECN marking at enqueue time (DCTCP
+// style).
+type Queue struct {
+	capPackets int
+	capBytes   int
+
+	// markThresholdPackets / markThresholdBytes: when > 0, packets whose
+	// arrival finds the queue at or above the threshold are CE-marked if
+	// they are ECN-capable.
+	markThresholdPackets int
+	markThresholdBytes   int
+
+	pkts  []*Packet
+	head  int
+	bytes int
+	stats QueueStats
+}
+
+// QueueConfig configures a Queue.
+type QueueConfig struct {
+	// CapPackets limits the queue length in packets (0 = unlimited).
+	CapPackets int
+	// CapBytes limits the queue length in bytes (0 = unlimited).
+	CapBytes int
+	// ECNThresholdPackets enables DCTCP-style marking when the
+	// instantaneous queue length reaches this many packets (0 = off).
+	ECNThresholdPackets int
+	// ECNThresholdBytes enables marking on queued bytes (0 = off).
+	ECNThresholdBytes int
+}
+
+// NewQueue builds a queue from cfg.
+func NewQueue(cfg QueueConfig) *Queue {
+	return &Queue{
+		capPackets:           cfg.CapPackets,
+		capBytes:             cfg.CapBytes,
+		markThresholdPackets: cfg.ECNThresholdPackets,
+		markThresholdBytes:   cfg.ECNThresholdBytes,
+	}
+}
+
+// Len returns the instantaneous queue length in packets.
+func (q *Queue) Len() int { return len(q.pkts) - q.head }
+
+// Bytes returns the instantaneous queued bytes.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Stats returns a copy of the lifetime counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Enqueue appends p, applying tail drop and ECN marking. It reports
+// whether the packet was accepted; a rejected packet is dropped.
+func (q *Queue) Enqueue(p *Packet) bool {
+	if q.capPackets > 0 && q.Len() >= q.capPackets {
+		q.stats.Dropped++
+		return false
+	}
+	if q.capBytes > 0 && q.bytes+p.Size > q.capBytes {
+		q.stats.Dropped++
+		return false
+	}
+	if p.ECT && q.shouldMark() {
+		p.CE = true
+		q.stats.Marked++
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	q.stats.Enqueued++
+	if l := q.Len(); l > q.stats.MaxLen {
+		q.stats.MaxLen = l
+	}
+	if q.bytes > q.stats.MaxBytes {
+		q.stats.MaxBytes = q.bytes
+	}
+	return true
+}
+
+// Dequeue removes and returns the head packet, or nil when empty.
+func (q *Queue) Dequeue() *Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *Queue) shouldMark() bool {
+	if q.markThresholdPackets > 0 && q.Len() >= q.markThresholdPackets {
+		return true
+	}
+	if q.markThresholdBytes > 0 && q.bytes >= q.markThresholdBytes {
+		return true
+	}
+	return false
+}

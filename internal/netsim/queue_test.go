@@ -1,0 +1,196 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func dataPkt(id uint64, size int) *Packet {
+	return &Packet{ID: id, Size: size, Payload: size - HeaderSize}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(QueueConfig{CapPackets: 10})
+	for i := uint64(0); i < 5; i++ {
+		if !q.Enqueue(dataPkt(i, 1500)) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i := uint64(0); i < 5; i++ {
+		p := q.Dequeue()
+		if p == nil || p.ID != i {
+			t.Fatalf("dequeue %d = %v", i, p)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Error("dequeue from empty queue should return nil")
+	}
+}
+
+func TestQueueTailDropPackets(t *testing.T) {
+	q := NewQueue(QueueConfig{CapPackets: 3})
+	for i := uint64(0); i < 5; i++ {
+		q.Enqueue(dataPkt(i, 1500))
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+	st := q.Stats()
+	if st.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", st.Dropped)
+	}
+	if st.Enqueued != 3 {
+		t.Errorf("Enqueued = %d, want 3", st.Enqueued)
+	}
+	if st.MaxLen != 3 {
+		t.Errorf("MaxLen = %d, want 3", st.MaxLen)
+	}
+}
+
+func TestQueueByteCapacity(t *testing.T) {
+	q := NewQueue(QueueConfig{CapBytes: 4000})
+	if !q.Enqueue(dataPkt(1, 1500)) || !q.Enqueue(dataPkt(2, 1500)) {
+		t.Fatal("first two packets must fit")
+	}
+	if q.Enqueue(dataPkt(3, 1500)) {
+		t.Error("third 1500B packet should not fit in 4000B")
+	}
+	// A small ACK still fits.
+	if !q.Enqueue(&Packet{ID: 4, Size: AckSize, IsAck: true}) {
+		t.Error("40B ack should fit in remaining space")
+	}
+	if q.Bytes() != 3040 {
+		t.Errorf("Bytes = %d, want 3040", q.Bytes())
+	}
+}
+
+func TestQueueECNMarking(t *testing.T) {
+	q := NewQueue(QueueConfig{CapPackets: 100, ECNThresholdPackets: 3})
+	var marked int
+	for i := uint64(0); i < 6; i++ {
+		p := dataPkt(i, 1500)
+		p.ECT = true
+		q.Enqueue(p)
+		if p.CE {
+			marked++
+		}
+	}
+	// Packets 0,1,2 arrive below threshold; 3,4,5 see len>=3.
+	if marked != 3 {
+		t.Errorf("marked = %d, want 3", marked)
+	}
+	if q.Stats().Marked != 3 {
+		t.Errorf("Stats().Marked = %d, want 3", q.Stats().Marked)
+	}
+}
+
+func TestQueueECNIgnoresNonECT(t *testing.T) {
+	q := NewQueue(QueueConfig{CapPackets: 100, ECNThresholdPackets: 1})
+	q.Enqueue(dataPkt(1, 1500))
+	p := dataPkt(2, 1500)
+	q.Enqueue(p)
+	if p.CE {
+		t.Error("non-ECT packet must not be CE marked")
+	}
+}
+
+func TestQueueUnlimited(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	for i := uint64(0); i < 1000; i++ {
+		if !q.Enqueue(dataPkt(i, 1500)) {
+			t.Fatal("unlimited queue rejected a packet")
+		}
+	}
+	if q.Len() != 1000 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	// Interleave enough enqueue/dequeue churn to force head compaction
+	// and verify FIFO order is preserved throughout.
+	q := NewQueue(QueueConfig{})
+	nextIn, nextOut := uint64(0), uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			q.Enqueue(dataPkt(nextIn, 1500))
+			nextIn++
+		}
+		for i := 0; i < 9; i++ {
+			p := q.Dequeue()
+			if p == nil || p.ID != nextOut {
+				t.Fatalf("round %d: got %v, want id %d", round, p, nextOut)
+			}
+			nextOut++
+		}
+	}
+	for q.Len() > 0 {
+		p := q.Dequeue()
+		if p.ID != nextOut {
+			t.Fatalf("drain: got id %d, want %d", p.ID, nextOut)
+		}
+		nextOut++
+	}
+	if nextOut != nextIn {
+		t.Errorf("drained %d packets, want %d", nextOut, nextIn)
+	}
+}
+
+// TestQueueConservationProperty: packets in = packets out + drops +
+// still-queued, under random operation sequences.
+func TestQueueConservationProperty(t *testing.T) {
+	prop := func(ops []bool, cap8 uint8) bool {
+		capPkts := int(cap8%20) + 1
+		q := NewQueue(QueueConfig{CapPackets: capPkts})
+		var offered, dequeued int
+		for i, enq := range ops {
+			if enq {
+				offered++
+				q.Enqueue(dataPkt(uint64(i), 1500))
+			} else if q.Dequeue() != nil {
+				dequeued++
+			}
+			if q.Len() > capPkts {
+				return false
+			}
+		}
+		st := q.Stats()
+		return offered == st.Enqueued+st.Dropped &&
+			st.Enqueued == dequeued+q.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitrateTransmitTime(t *testing.T) {
+	tests := []struct {
+		name string
+		rate Bitrate
+		size int
+		want string
+	}{
+		{"1500B at 1Gbps", Gbps, 1500, "12µs"},
+		{"1500B at 100Mbps", 100 * Mbps, 1500, "120µs"},
+		{"40B ack at 1Gbps", Gbps, 40, "320ns"},
+		{"1500B at 10Gbps", 10 * Gbps, 1500, "1.2µs"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.rate.TransmitTime(tt.size).String(); got != tt.want {
+				t.Errorf("TransmitTime = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBitratePacketsPerSecond(t *testing.T) {
+	// 1 Gbps / (8 * 1500B) ≈ 83333 packets/s.
+	got := Gbps.PacketsPerSecond(1500)
+	if got < 83333 || got > 83334 {
+		t.Errorf("PacketsPerSecond = %v", got)
+	}
+}

@@ -1,0 +1,11 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a deterministic random source for the given seed.
+// Simulation components must never use the global rand functions; every
+// experiment threads one or more seeded *rand.Rand values so that runs are
+// reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //nolint:gosec // simulation, not crypto
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// event is a scheduled callback. seq provides stable FIFO ordering among
+// events with the same firing time so that runs are fully deterministic.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. The zero value is not usable; timers are created by the Scheduler.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (i.e., Stop prevented it from firing).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer is scheduled and not yet fired or
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index != -1
+}
+
+// Scheduler is a deterministic discrete-event loop. All simulation
+// components share one Scheduler and must be driven from a single
+// goroutine.
+type Scheduler struct {
+	events  eventHeap
+	now     Time
+	seq     uint64
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns an empty scheduler positioned at Start.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending (possibly cancelled) events.
+func (s *Scheduler) Len() int { return len(s.events) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// returns ErrPastEvent; scheduling at the current instant is allowed and
+// runs after all previously scheduled events for that instant.
+func (s *Scheduler) At(t Time, fn func()) (*Timer, error) {
+	if t < s.now {
+		return nil, ErrPastEvent
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}, nil
+}
+
+// After schedules fn to run d after the current instant. Negative d is
+// clamped to zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	timer, err := s.At(s.now.Add(d), fn)
+	if err != nil {
+		// Unreachable: now+|d| is never in the past. Keep the event loop
+		// alive regardless.
+		return &Timer{}
+	}
+	return timer
+}
+
+// Stop halts the run loop after the event currently executing returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		popped, ok := heap.Pop(&s.events).(*event)
+		if !ok {
+			return false
+		}
+		if popped.cancelled {
+			continue
+		}
+		s.now = popped.at
+		s.fired++
+		popped.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty, the horizon
+// t is passed, or Stop is called. Time is left at the later of the last
+// executed event and t (when the horizon was reached with events pending,
+// time advances to t exactly).
+func (s *Scheduler) RunUntil(t Time) {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	for !s.stopped {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			s.now = t
+			return
+		}
+		s.Step()
+	}
+	if s.now < t && t != End && s.Len() == 0 {
+		s.now = t
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() { s.RunUntil(End) }
+
+// peek returns the earliest non-cancelled event without executing it,
+// discarding cancelled heap entries along the way.
+func (s *Scheduler) peek() *event {
+	for len(s.events) > 0 {
+		if !s.events[0].cancelled {
+			return s.events[0]
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}

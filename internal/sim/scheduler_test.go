@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(30*time.Microsecond, func() { got = append(got, 3) })
+	s.After(10*time.Microsecond, func() { got = append(got, 1) })
+	s.After(20*time.Microsecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != At(30*time.Microsecond) {
+		t.Errorf("Now() = %v, want 30µs", s.Now())
+	}
+}
+
+func TestSchedulerFIFOForSimultaneousEvents(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d; simultaneous events must run FIFO", i, v)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	s.After(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired %d, want 2", len(fired))
+	}
+	if fired[1] != At(2*time.Millisecond) {
+		t.Errorf("nested event at %v, want 2ms", fired[1])
+	}
+}
+
+func TestSchedulerPastEventRejected(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Millisecond, func() {
+		if _, err := s.At(At(time.Microsecond), func() {}); err == nil {
+			t.Error("scheduling in the past should fail")
+		}
+	})
+	s.Run()
+}
+
+func TestSchedulerZeroDelayRunsAfterCurrentEvent(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(time.Millisecond, func() {
+		s.After(0, func() { got = append(got, 2) })
+		got = append(got, 1)
+	})
+	s.After(time.Millisecond, func() { got = append(got, 3) })
+	s.Run()
+	// Event scheduled "now" during the 1ms batch must run after the
+	// already-queued simultaneous event.
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	timer := s.After(time.Millisecond, func() { fired = true })
+	if !timer.Pending() {
+		t.Fatal("timer should be pending before firing")
+	}
+	if !timer.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if timer.Stop() {
+		t.Error("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler()
+	timer := s.After(time.Millisecond, func() {})
+	s.Run()
+	if timer.Pending() {
+		t.Error("fired timer still pending")
+	}
+	if timer.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.After(time.Millisecond, tick)
+	}
+	s.After(time.Millisecond, tick)
+	s.RunUntil(At(10*time.Millisecond + 500*time.Microsecond))
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if s.Now() != At(10*time.Millisecond+500*time.Microsecond) {
+		t.Errorf("Now() = %v, want horizon", s.Now())
+	}
+	// Resume past the horizon.
+	s.RunUntil(At(12 * time.Millisecond))
+	if count != 12 {
+		t.Errorf("after resume count = %d, want 12", count)
+	}
+}
+
+func TestRunUntilAdvancesTimeWhenQueueEmpty(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntil(At(time.Second))
+	if s.Now() != At(time.Second) {
+		t.Errorf("Now() = %v, want 1s", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.After(time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped mid-batch)", count)
+	}
+	if s.Len() != 7 {
+		t.Errorf("pending = %d, want 7", s.Len())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	instant := At(1500 * time.Microsecond)
+	if got := instant.Add(500 * time.Microsecond); got != At(2*time.Millisecond) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := instant.Sub(At(time.Millisecond)); got != 500*time.Microsecond {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := At(time.Second).Seconds(); got != 1.0 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := At(2500 * time.Millisecond).String(); got != "2.500000s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestSchedulerOrderProperty checks with random delay sets that events
+// always fire in nondecreasing time order and that Now never goes backward.
+func TestSchedulerOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := NewScheduler()
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Microsecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedulerDeterminism runs the same randomized workload twice and
+// requires identical event traces.
+func TestSchedulerDeterminism(t *testing.T) {
+	runTrace := func(seed int64) []Time {
+		rng := NewRand(seed)
+		s := NewScheduler()
+		var trace []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, s.Now())
+			if depth == 0 {
+				return
+			}
+			n := rng.Intn(3)
+			for i := 0; i < n; i++ {
+				d := time.Duration(rng.Intn(1000)) * time.Microsecond
+				s.After(d, func() { spawn(depth - 1) })
+			}
+		}
+		for i := 0; i < 5; i++ {
+			d := time.Duration(rng.Intn(1000)) * time.Microsecond
+			s.After(d, func() { spawn(4) })
+		}
+		s.Run()
+		return trace
+	}
+	a, b := runTrace(42), runTrace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(time.Microsecond, tick)
+	s.Run()
+}

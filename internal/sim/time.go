@@ -1,0 +1,46 @@
+// Package sim provides a deterministic discrete-event simulation core:
+// virtual time, an event scheduler with stable FIFO ordering for
+// simultaneous events, and cancellable timers.
+//
+// The scheduler is single-threaded by design. Determinism is the primary
+// goal: given the same initial events and the same seeded random sources,
+// a run always produces the same schedule.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. It is intentionally distinct from time.Time: simulated
+// clocks have no calendar, no time zones, and no wall-clock drift.
+type Time int64
+
+// Common instants.
+const (
+	// Start is the origin of virtual time.
+	Start Time = 0
+	// End is the largest representable instant, used as an "infinite"
+	// horizon for RunUntil.
+	End Time = Time(^uint64(0) >> 1)
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Duration converts t to a time.Duration offset from the simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the instant as seconds with microsecond precision, which
+// matches how the paper reports simulation timestamps.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// At converts a duration-from-start to an instant.
+func At(d time.Duration) Time { return Time(d) }

@@ -1,0 +1,996 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+)
+
+// Configuration defaults. The 200 ms RTO floor matches the paper's default
+// ("the retransmission timeout (RTO) is 200 milliseconds"); experiments
+// override it per scenario (20 ms in Fig. 8, 1 ms in Fig. 9b).
+const (
+	DefaultMSS        = netsim.MSS
+	DefaultMinCwnd    = 2
+	DefaultInitCwnd   = 2
+	DefaultMinRTO     = 200 * time.Millisecond
+	DefaultMaxRTO     = 10 * time.Second
+	defaultSsthresh   = 1 << 30 // effectively unbounded slow start
+	maxBackoffShift   = 6
+	dupAckThreshold   = 3
+	windowSlack       = 1e-9 // float tolerance in window comparisons
+	maxSegmentsLimit  = 1 << 30
+	minRTTSampleFloor = time.Nanosecond
+)
+
+// Config describes one unidirectional TCP connection (data flows
+// Sender→Receiver; ACKs flow back).
+type Config struct {
+	// Sender and Receiver are the endpoints' stacks.
+	Sender   *Stack
+	Receiver *Stack
+	// Flow must be unique within the network.
+	Flow netsim.FlowID
+	// CC is the window policy; nil means Reno.
+	CC CongestionControl
+	// MSS in payload bytes; 0 means DefaultMSS.
+	MSS int
+	// InitialCwnd / MinCwnd in segments; 0 means the defaults (2).
+	InitialCwnd float64
+	MinCwnd     float64
+	// MinRTO / MaxRTO bound the retransmission timer; 0 means defaults.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// ECN marks data packets ECN-capable, enabling switch CE marking.
+	ECN bool
+	// SACK enables selective acknowledgements: the receiver reports its
+	// out-of-order ranges (up to netsim.MaxSackBlocks per ACK, rotating
+	// so consecutive ACKs cover the whole picture) and the sender keeps
+	// a scoreboard — directing retransmissions at holes that qualify as
+	// lost (RFC 6675's three-segments-above rule), excluding SACKed data
+	// from its in-flight estimate, and skipping SACKed ranges in the
+	// post-timeout go-back-N sweep. The payoff regime is multi-loss
+	// windows (heavy or bursty loss); under light loss it performs like
+	// NewReno. Off by default — the paper's NS2 experiments use
+	// Reno/NewReno without SACK; this is a documented extension.
+	SACK bool
+	// DelayedAck enables receiver ACK coalescing: an ACK is emitted for
+	// every second in-order data packet or after this delay, whichever
+	// comes first. Out-of-order arrivals, duplicates, and CE-state
+	// changes (the DCTCP rule) are acknowledged immediately so loss
+	// detection and ECN feedback stay prompt. Zero disables coalescing
+	// (per-packet ACKs — the paper's NS2-like default, used by every
+	// reproduced experiment).
+	DelayedAck time.Duration
+	// LinkRate is the access-link capacity hint used by delay-based
+	// policies (TCP-TRIM's K); 0 when unknown.
+	LinkRate netsim.Bitrate
+	// Observer, when non-nil, receives connection lifecycle events
+	// (sends, ACKs, recoveries, timeouts) for tracing.
+	Observer Observer
+}
+
+// Stats aggregates lifetime counters for one connection.
+type Stats struct {
+	Timeouts       int
+	FastRecoveries int
+	RetransSegs    int
+	SentSegs       int
+	ProbeSegs      int
+	AcksSent       int
+	AckedBytes     int64
+	DeliveredBytes int64
+	ECESeen        int
+}
+
+// TrainResult reports the completion of one application packet train.
+type TrainResult struct {
+	// Released is when the train was handed to the connection; Completed
+	// is when the sender received the cumulative ACK covering its last
+	// byte.
+	Released  sim.Time
+	Completed sim.Time
+	// Bytes is the train's payload size.
+	Bytes int
+}
+
+// CompletionTime returns the train's sender-observed completion time.
+func (r TrainResult) CompletionTime() time.Duration {
+	return r.Completed.Sub(r.Released)
+}
+
+type train struct {
+	end      int64
+	released sim.Time
+	bytes    int
+	done     func(TrainResult)
+}
+
+type interval struct{ start, end int64 }
+
+// Conn is one simulated TCP connection. It holds both the sender and the
+// receiver endpoint state; the simulation has a global view, so splitting
+// them into separate objects would only add plumbing. Not safe for
+// concurrent use — the whole simulation is single-threaded.
+type Conn struct {
+	sched *sim.Scheduler
+	cfg   Config
+	cc    CongestionControl
+	mss   int
+
+	// Sender state.
+	sndUna   int64
+	sndNxt   int64
+	maxSent  int64
+	bufEnd   int64
+	cwnd     float64
+	ssthresh float64
+	minCwnd  float64
+
+	dupAcks    int
+	inRecovery bool
+	recover    int64
+
+	suspended bool
+	bonus     int
+	sending   bool // re-entrancy guard for trySend
+
+	hasSent    bool
+	lastSendAt sim.Time
+
+	// SACK scoreboard: received-but-unacknowledged ranges above sndUna,
+	// sorted and merged. rtxHint is the recovery retransmission
+	// high-water mark (holes below it were already retransmitted this
+	// recovery).
+	sacked  []interval
+	rtxHint int64
+
+	// RTO state (RFC 6298).
+	srtt     time.Duration
+	rttvar   time.Duration
+	rtoTimer *sim.Timer
+	backoff  int
+
+	trains []train
+
+	// Receiver state.
+	rcvNxt int64
+	ooo    []interval
+	// sackRotate cycles which scoreboard blocks are advertised so the
+	// sender learns the whole out-of-order picture across consecutive
+	// ACKs (the option space fits only MaxSackBlocks per ACK).
+	sackRotate int
+	// lastTouched is the ooo range most recently created or extended;
+	// it is always advertised first (RFC 2018 behaviour).
+	lastTouched interval
+	// Delayed-ACK state (only used when cfg.DelayedAck > 0).
+	ackPending   bool
+	pendingEcho  sim.Time
+	pendingCE    bool
+	pendingProbe bool
+	ackTimer     *sim.Timer
+	rcvCEState   bool
+
+	stats   Stats
+	nextPkt uint64
+}
+
+var _ Control = (*Conn)(nil)
+
+// NewConn validates cfg, registers the connection with both stacks, and
+// returns it ready to carry trains.
+func NewConn(cfg Config) (*Conn, error) {
+	if cfg.Sender == nil || cfg.Receiver == nil {
+		return nil, errors.New("tcp: both sender and receiver stacks are required")
+	}
+	if cfg.Sender.net != cfg.Receiver.net {
+		return nil, errors.New("tcp: endpoints belong to different networks")
+	}
+	if cfg.CC == nil {
+		cfg.CC = NewReno()
+	}
+	if cfg.MSS == 0 {
+		cfg.MSS = DefaultMSS
+	}
+	if cfg.MSS < 1 {
+		return nil, fmt.Errorf("tcp: invalid MSS %d", cfg.MSS)
+	}
+	if cfg.InitialCwnd == 0 {
+		cfg.InitialCwnd = DefaultInitCwnd
+	}
+	if cfg.MinCwnd == 0 {
+		cfg.MinCwnd = DefaultMinCwnd
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = DefaultMinRTO
+	}
+	if cfg.MaxRTO == 0 {
+		cfg.MaxRTO = DefaultMaxRTO
+	}
+	c := &Conn{
+		sched:    cfg.Sender.net.Scheduler(),
+		cfg:      cfg,
+		cc:       cfg.CC,
+		mss:      cfg.MSS,
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: defaultSsthresh,
+		minCwnd:  cfg.MinCwnd,
+	}
+	if err := cfg.Sender.registerSender(cfg.Flow, c); err != nil {
+		return nil, err
+	}
+	if err := cfg.Receiver.registerReceiver(cfg.Flow, c); err != nil {
+		return nil, err
+	}
+	c.cc.Attach(c)
+	return c, nil
+}
+
+// Flow returns the connection's flow id.
+func (c *Conn) Flow() netsim.FlowID { return c.cfg.Flow }
+
+// CC returns the attached congestion-control policy.
+func (c *Conn) CC() CongestionControl { return c.cc }
+
+// Stats returns a copy of the connection counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// SendTrain appends a packet train (an HTTP response, in the paper's
+// terms) of size bytes to the send buffer. done, if non-nil, is invoked
+// when the sender receives the cumulative ACK covering the train's last
+// byte.
+func (c *Conn) SendTrain(size int, done func(TrainResult)) {
+	if size <= 0 {
+		if done != nil {
+			now := c.sched.Now()
+			done(TrainResult{Released: now, Completed: now})
+		}
+		return
+	}
+	c.bufEnd += int64(size)
+	c.trains = append(c.trains, train{
+		end:      c.bufEnd,
+		released: c.sched.Now(),
+		bytes:    size,
+		done:     done,
+	})
+	c.trySend()
+}
+
+// Pending returns the number of bytes appended but not yet acknowledged.
+func (c *Conn) Pending() int64 { return c.bufEnd - c.sndUna }
+
+// --- Control implementation -------------------------------------------
+
+// Now implements Control.
+func (c *Conn) Now() sim.Time { return c.sched.Now() }
+
+// After implements Control.
+func (c *Conn) After(d time.Duration, fn func()) *sim.Timer {
+	return c.sched.After(d, fn)
+}
+
+// Cwnd implements Control.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// SetCwnd implements Control.
+func (c *Conn) SetCwnd(w float64) {
+	if w < c.minCwnd {
+		w = c.minCwnd
+	}
+	if w > maxSegmentsLimit {
+		w = maxSegmentsLimit
+	}
+	c.cwnd = w
+}
+
+// Ssthresh implements Control.
+func (c *Conn) Ssthresh() float64 { return c.ssthresh }
+
+// SetSsthresh implements Control.
+func (c *Conn) SetSsthresh(w float64) {
+	if w < c.minCwnd {
+		w = c.minCwnd
+	}
+	c.ssthresh = w
+}
+
+// MinCwnd implements Control.
+func (c *Conn) MinCwnd() float64 { return c.minCwnd }
+
+// FlightSegs implements Control. With SACK enabled, selectively
+// acknowledged bytes do not count as in flight (the RFC 6675 "pipe").
+func (c *Conn) FlightSegs() int {
+	bytes := c.sndNxt - c.sndUna
+	if c.cfg.SACK {
+		bytes -= c.sackedBytes()
+	}
+	if bytes <= 0 {
+		return 0
+	}
+	return int((bytes + int64(c.mss) - 1) / int64(c.mss))
+}
+
+// sackedBytes returns the total bytes currently on the scoreboard.
+func (c *Conn) sackedBytes() int64 {
+	var total int64
+	for _, iv := range c.sacked {
+		total += iv.end - iv.start
+	}
+	return total
+}
+
+// SRTT implements Control.
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// Suspend implements Control.
+func (c *Conn) Suspend() { c.suspended = true }
+
+// Resume implements Control.
+func (c *Conn) Resume() {
+	if !c.suspended {
+		return
+	}
+	c.suspended = false
+	c.trySend()
+}
+
+// AllowBeyondWindow implements Control.
+func (c *Conn) AllowBeyondWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.bonus = n
+}
+
+// LinkRate implements Control.
+func (c *Conn) LinkRate() netsim.Bitrate { return c.cfg.LinkRate }
+
+// WirePacketSize implements Control.
+func (c *Conn) WirePacketSize() int { return c.mss + netsim.HeaderSize }
+
+// SinceLastSend returns the idle time since the last data transmission
+// and whether any data was ever sent.
+func (c *Conn) SinceLastSend() (time.Duration, bool) {
+	if !c.hasSent {
+		return 0, false
+	}
+	return c.sched.Now().Sub(c.lastSendAt), true
+}
+
+// --- Sender ------------------------------------------------------------
+
+// trySend transmits as much new data as the window (plus any bonus
+// grants) allows.
+func (c *Conn) trySend() {
+	if c.sending {
+		return
+	}
+	c.sending = true
+	defer func() { c.sending = false }()
+
+	for !c.suspended && c.sndNxt < c.bufEnd {
+		if !c.windowOpen() {
+			break
+		}
+		// After a timeout, go-back-N resends below maxSent; with SACK the
+		// sweep skips ranges the receiver already holds.
+		if c.cfg.SACK {
+			for _, iv := range c.sacked {
+				if iv.start <= c.sndNxt && c.sndNxt < iv.end {
+					c.sndNxt = iv.end
+				}
+			}
+			if c.sndNxt >= c.bufEnd {
+				break
+			}
+		}
+		isRtx := c.sndNxt < c.maxSent
+		if !isRtx {
+			// Algorithm 1 consults the policy "before sending a new
+			// packet (not a retransmission packet)".
+			c.cc.BeforeSend()
+			if c.suspended {
+				break
+			}
+			if !c.windowOpen() {
+				break
+			}
+		}
+		seg := int64(c.mss)
+		if rem := c.bufEnd - c.sndNxt; rem < seg {
+			seg = rem
+		}
+		if c.cfg.SACK {
+			for _, iv := range c.sacked {
+				if iv.start > c.sndNxt && iv.start < c.sndNxt+seg {
+					seg = iv.start - c.sndNxt
+					break
+				}
+			}
+		}
+		usedBonus := !c.fitsWindow()
+		c.sendSegment(c.sndNxt, c.sndNxt+seg, isRtx)
+		c.sndNxt += seg
+		if c.sndNxt > c.maxSent {
+			c.maxSent = c.sndNxt
+		}
+		if usedBonus && c.bonus > 0 {
+			c.bonus--
+		}
+	}
+}
+
+// fitsWindow reports whether one more segment fits in the congestion
+// window proper (ignoring bonus grants).
+func (c *Conn) fitsWindow() bool {
+	return float64(c.FlightSegs()+1) <= c.cwnd+windowSlack
+}
+
+// windowOpen reports whether a segment may be sent, counting bonus
+// capacity when the window proper is full.
+func (c *Conn) windowOpen() bool {
+	return c.fitsWindow() || c.bonus > 0
+}
+
+// sendSegment emits one data segment onto the network.
+func (c *Conn) sendSegment(seq, end int64, retransmit bool) {
+	now := c.sched.Now()
+	var gap time.Duration
+	if c.hasSent {
+		gap = now.Sub(c.lastSendAt)
+	}
+	payload := int(end - seq)
+	pkt := &netsim.Packet{
+		ID:         c.nextPktID(),
+		Flow:       c.cfg.Flow,
+		Src:        c.cfg.Sender.host.ID(),
+		Dst:        c.cfg.Receiver.host.ID(),
+		Size:       payload + netsim.HeaderSize,
+		Payload:    payload,
+		Seq:        seq,
+		ECT:        c.cfg.ECN,
+		SentAt:     now,
+		Retransmit: retransmit,
+	}
+	probe := c.cc.OnSent(SendEvent{Seq: seq, EndSeq: end, Retransmit: retransmit, Gap: gap})
+	if probe {
+		pkt.Probe = true
+		c.stats.ProbeSegs++
+	}
+	c.stats.SentSegs++
+	if retransmit {
+		c.stats.RetransSegs++
+	}
+	c.hasSent = true
+	c.lastSendAt = now
+	kind := EventSend
+	if retransmit {
+		kind = EventRetransmit
+	}
+	c.observe(kind, seq, 0)
+	c.cfg.Sender.host.Send(pkt)
+	// RFC 6298: start the timer if it is not running; transmissions must
+	// not postpone an already-armed timer (otherwise a steady stream of
+	// dup-ACK-driven sends can starve the RTO forever).
+	if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+		c.armRTO()
+	}
+}
+
+func (c *Conn) nextPktID() uint64 {
+	c.nextPkt++
+	return uint64(c.cfg.Flow)<<32 | c.nextPkt
+}
+
+// observe reports a lifecycle event to the configured observer, if any.
+func (c *Conn) observe(kind EventKind, seq, ack int64) {
+	if c.cfg.Observer == nil {
+		return
+	}
+	c.cfg.Observer.Record(Event{
+		At:     c.sched.Now(),
+		Kind:   kind,
+		Seq:    seq,
+		Ack:    ack,
+		Cwnd:   c.cwnd,
+		Flight: c.FlightSegs(),
+	})
+}
+
+// handleAck processes an ACK arriving at the sender.
+func (c *Conn) handleAck(pkt *netsim.Packet) {
+	now := c.sched.Now()
+	rtt := now.Sub(pkt.Echo)
+	if pkt.ECE {
+		c.stats.ECESeen++
+	}
+
+	if pkt.Ack > c.sndUna {
+		c.onAdvancingAck(pkt, rtt)
+		return
+	}
+	c.onDuplicateAck(pkt)
+}
+
+func (c *Conn) onAdvancingAck(pkt *netsim.Packet, rtt time.Duration) {
+	if c.cfg.SACK {
+		c.mergeSack(pkt.Sack)
+	}
+	ackedBytes := pkt.Ack - c.sndUna
+	ackedSegs := int((ackedBytes + int64(c.mss) - 1) / int64(c.mss))
+	c.sndUna = pkt.Ack
+	if c.cfg.SACK {
+		c.trimSackBelow(c.sndUna)
+		if c.rtxHint < c.sndUna {
+			c.rtxHint = c.sndUna
+		}
+	}
+	c.stats.AckedBytes += ackedBytes
+	if rtt >= minRTTSampleFloor {
+		c.updateRTOEstimator(rtt)
+	}
+	c.backoff = 0
+
+	if c.inRecovery {
+		if pkt.Ack >= c.recover {
+			// Full ACK: leave recovery, deflate to ssthresh.
+			c.inRecovery = false
+			c.dupAcks = 0
+			c.SetCwnd(c.ssthresh)
+			c.observe(EventExitRecovery, 0, pkt.Ack)
+		} else if c.cfg.SACK {
+			// Partial ACK with SACK: the pipe rule keeps the window
+			// honest without NewReno's deflation. The stall at the new
+			// left edge means that hole (or its retransmission) is
+			// missing — repair it.
+			c.retransmitFirstUnacked()
+		} else {
+			// Partial ACK (NewReno): retransmit the next hole, deflate
+			// by the amount acked, re-inflate by one.
+			c.SetCwnd(c.cwnd - float64(ackedSegs) + 1)
+			c.retransmitFirstUnacked()
+		}
+	} else {
+		c.dupAcks = 0
+	}
+
+	c.cc.OnAck(AckEvent{
+		Ack:        pkt.Ack,
+		AckedBytes: ackedBytes,
+		AckedSegs:  ackedSegs,
+		RTT:        rtt,
+		ECE:        pkt.ECE,
+		InRecovery: c.inRecovery,
+	})
+
+	c.observe(EventAck, 0, pkt.Ack)
+	c.completeTrains()
+	c.armRTO()
+	c.trySend()
+}
+
+func (c *Conn) onDuplicateAck(pkt *netsim.Packet) {
+	if pkt.Ack != c.sndUna || c.sndNxt == c.sndUna {
+		return // stale ACK or nothing in flight
+	}
+	c.dupAcks++
+	c.observe(EventDupAck, 0, pkt.Ack)
+	if c.cfg.SACK {
+		c.mergeSack(pkt.Sack)
+	}
+	c.cc.OnDupAck()
+	switch {
+	case !c.inRecovery && c.dupAcks == dupAckThreshold:
+		c.enterFastRecovery()
+	case c.inRecovery && c.cfg.SACK:
+		// SACK-directed recovery (RFC 6675 style): no window inflation —
+		// the pipe rule (flight excludes SACKed bytes) already frees
+		// window space as the scoreboard fills. Repair the next lost
+		// hole, then refill with new data.
+		c.retransmitNextHole()
+		c.trySend()
+	case c.inRecovery:
+		// Window inflation keeps the pipe full while the hole repairs.
+		c.SetCwnd(c.cwnd + 1)
+		c.trySend()
+	}
+}
+
+func (c *Conn) enterFastRecovery() {
+	c.inRecovery = true
+	c.recover = c.sndNxt
+	// The retransmission high-water mark survives back-to-back
+	// recoveries: holes already repaired (whose rtx may still be in
+	// flight) are not re-sent at each recovery entry.
+	if c.rtxHint < c.sndUna {
+		c.rtxHint = c.sndUna
+	}
+	c.stats.FastRecoveries++
+	c.SetSsthresh(c.cc.SsthreshAfterLoss())
+	c.SetCwnd(c.ssthresh + dupAckThreshold)
+	c.observe(EventEnterRecovery, c.sndUna, 0)
+	c.retransmitFirstUnacked()
+}
+
+func (c *Conn) retransmitFirstUnacked() {
+	end := c.sndUna + int64(c.mss)
+	if c.cfg.SACK && len(c.sacked) > 0 && c.sacked[0].start < end {
+		// Do not re-send bytes the receiver already holds.
+		end = c.sacked[0].start
+	}
+	if end > c.maxSent {
+		end = c.maxSent
+	}
+	if end <= c.sndUna {
+		return
+	}
+	c.sendSegment(c.sndUna, end, true)
+	if c.rtxHint < end {
+		c.rtxHint = end
+	}
+}
+
+// retransmitNextHole repairs the first scoreboard hole at or above the
+// recovery high-water mark, when the congestion window has room. It
+// reports whether a retransmission was sent.
+func (c *Conn) retransmitNextHole() bool {
+	if !c.fitsWindow() {
+		return false
+	}
+	seq, end := c.nextHole()
+	if end <= seq {
+		return false
+	}
+	c.sendSegment(seq, end, true)
+	c.rtxHint = end
+	return true
+}
+
+// nextHole returns the next unsacked segment in [max(sndUna, rtxHint),
+// sndNxt) that qualifies as lost under the RFC 6675 heuristic — at least
+// three segments' worth of SACKed data lie above it (data merely still in
+// flight is not a hole). The segment is clipped to one MSS and to the
+// following SACK block. Returns an empty range when no hole qualifies.
+func (c *Conn) nextHole() (seq, end int64) {
+	seq = c.sndUna
+	if c.rtxHint > seq {
+		seq = c.rtxHint
+	}
+	// Skip past any block covering seq.
+	for _, iv := range c.sacked {
+		if iv.start <= seq && seq < iv.end {
+			seq = iv.end
+		}
+	}
+	if seq >= c.sndNxt {
+		return seq, seq
+	}
+	end = seq + int64(c.mss)
+	for _, iv := range c.sacked {
+		if iv.start > seq && iv.start < end {
+			end = iv.start
+			break
+		}
+	}
+	if end > c.maxSent {
+		end = c.maxSent
+	}
+	if c.sackedBytesAbove(end) < int64(dupAckThreshold*c.mss) {
+		return seq, seq
+	}
+	return seq, end
+}
+
+// sackedBytesAbove returns the scoreboard bytes strictly above pos.
+func (c *Conn) sackedBytesAbove(pos int64) int64 {
+	var total int64
+	for _, iv := range c.sacked {
+		if iv.end <= pos {
+			continue
+		}
+		start := iv.start
+		if start < pos {
+			start = pos
+		}
+		total += iv.end - start
+	}
+	return total
+}
+
+// mergeSack folds the ACK's SACK blocks into the scoreboard.
+func (c *Conn) mergeSack(blocks []netsim.SackBlock) {
+	for _, b := range blocks {
+		if b.End <= b.Start || b.End <= c.sndUna {
+			continue
+		}
+		start := b.Start
+		if start < c.sndUna {
+			start = c.sndUna
+		}
+		c.insertSacked(interval{start, b.End})
+	}
+}
+
+func (c *Conn) insertSacked(iv interval) {
+	pos := len(c.sacked)
+	for i, cur := range c.sacked {
+		if iv.start < cur.start {
+			pos = i
+			break
+		}
+	}
+	c.sacked = append(c.sacked, interval{})
+	copy(c.sacked[pos+1:], c.sacked[pos:])
+	c.sacked[pos] = iv
+	merged := c.sacked[:1]
+	for _, cur := range c.sacked[1:] {
+		last := &merged[len(merged)-1]
+		if cur.start <= last.end {
+			if cur.end > last.end {
+				last.end = cur.end
+			}
+			continue
+		}
+		merged = append(merged, cur)
+	}
+	c.sacked = merged
+}
+
+// trimSackBelow drops scoreboard data at or below the cumulative ACK.
+func (c *Conn) trimSackBelow(una int64) {
+	out := c.sacked[:0]
+	for _, iv := range c.sacked {
+		if iv.end <= una {
+			continue
+		}
+		if iv.start < una {
+			iv.start = una
+		}
+		out = append(out, iv)
+	}
+	c.sacked = out
+}
+
+func (c *Conn) completeTrains() {
+	now := c.sched.Now()
+	for len(c.trains) > 0 && c.trains[0].end <= c.sndUna {
+		tr := c.trains[0]
+		c.trains = c.trains[1:]
+		if tr.done != nil {
+			tr.done(TrainResult{Released: tr.released, Completed: now, Bytes: tr.bytes})
+		}
+	}
+}
+
+// --- RTO ---------------------------------------------------------------
+
+func (c *Conn) updateRTOEstimator(rtt time.Duration) {
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+		return
+	}
+	// RFC 6298 with the standard gains.
+	diff := c.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+// rto returns the current retransmission timeout including back-off.
+func (c *Conn) rto() time.Duration {
+	base := c.srtt + 4*c.rttvar
+	if base < c.cfg.MinRTO {
+		base = c.cfg.MinRTO
+	}
+	shift := c.backoff
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	rto := base << shift
+	if rto > c.cfg.MaxRTO {
+		rto = c.cfg.MaxRTO
+	}
+	return rto
+}
+
+// armRTO (re)starts the retransmission timer while data is outstanding
+// and stops it otherwise.
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+	if c.sndUna == c.sndNxt {
+		return
+	}
+	c.rtoTimer = c.sched.After(c.rto(), c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	c.rtoTimer = nil
+	if c.sndUna == c.sndNxt {
+		return
+	}
+	c.stats.Timeouts++
+	c.observe(EventTimeout, c.sndUna, 0)
+	c.SetSsthresh(c.cc.SsthreshAfterLoss())
+	c.SetCwnd(c.minCwnd)
+	c.inRecovery = false
+	c.dupAcks = 0
+	c.bonus = 0
+	c.backoff++
+	// Go-back-N: everything past the cumulative ACK is presumed lost.
+	// With SACK the scoreboard survives the timeout so the resend sweep
+	// skips data the receiver already holds.
+	if !c.cfg.SACK {
+		c.sacked = c.sacked[:0]
+	}
+	c.rtxHint = c.sndUna
+	c.sndNxt = c.sndUna
+	c.cc.OnTimeout()
+	c.trySend()
+	c.armRTO()
+}
+
+// --- Receiver ----------------------------------------------------------
+
+// handleData processes a data packet arriving at the receiver. With
+// per-packet acknowledgements (the default), every arrival is ACKed
+// immediately, echoing the packet's timestamp and CE mark. With
+// DelayedAck configured, in-order arrivals coalesce two-per-ACK with a
+// deadline, while out-of-order arrivals, duplicates, and CE transitions
+// flush immediately.
+func (c *Conn) handleData(pkt *netsim.Packet) {
+	seq, end := pkt.Seq, pkt.Seq+int64(pkt.Payload)
+	inOrder := seq <= c.rcvNxt && end > c.rcvNxt
+	switch {
+	case inOrder:
+		c.rcvNxt = end
+		c.drainOutOfOrder()
+	case seq > c.rcvNxt:
+		c.insertOutOfOrder(interval{seq, end})
+		c.lastTouched = interval{seq, end}
+	}
+
+	if c.cfg.DelayedAck <= 0 {
+		c.sendAck(pkt.SentAt, pkt.CE, pkt.Probe)
+		return
+	}
+
+	ceChanged := pkt.CE != c.rcvCEState
+	c.rcvCEState = pkt.CE
+	if !inOrder || ceChanged {
+		// Prompt feedback: dup ACKs drive fast retransmit, and exact CE
+		// transitions keep DCTCP's fraction estimate faithful.
+		c.flushPendingAck()
+		c.sendAck(pkt.SentAt, pkt.CE, pkt.Probe)
+		return
+	}
+	if c.ackPending {
+		// Second in-order segment: acknowledge both.
+		c.clearPendingAck()
+		c.sendAck(pkt.SentAt, pkt.CE, pkt.Probe)
+		return
+	}
+	c.ackPending = true
+	c.pendingEcho = pkt.SentAt
+	c.pendingCE = pkt.CE
+	c.pendingProbe = pkt.Probe
+	c.ackTimer = c.sched.After(c.cfg.DelayedAck, c.flushPendingAck)
+}
+
+// flushPendingAck emits a deferred ACK, if any.
+func (c *Conn) flushPendingAck() {
+	if !c.ackPending {
+		return
+	}
+	echo, ce, probe := c.pendingEcho, c.pendingCE, c.pendingProbe
+	c.clearPendingAck()
+	c.sendAck(echo, ce, probe)
+}
+
+func (c *Conn) clearPendingAck() {
+	c.ackPending = false
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+		c.ackTimer = nil
+	}
+}
+
+// sendAck emits a cumulative acknowledgement from the receiver,
+// attaching SACK blocks for any out-of-order data when negotiated.
+func (c *Conn) sendAck(echo sim.Time, ce, probe bool) {
+	c.stats.AcksSent++
+	ack := &netsim.Packet{
+		ID:    c.nextPktID(),
+		Flow:  c.cfg.Flow,
+		Src:   c.cfg.Receiver.host.ID(),
+		Dst:   c.cfg.Sender.host.ID(),
+		Size:  netsim.AckSize,
+		IsAck: true,
+		Ack:   c.rcvNxt,
+		Echo:  echo,
+		ECE:   ce,
+		Probe: probe,
+	}
+	if c.cfg.SACK && len(c.ooo) > 0 {
+		ack.Sack = c.buildSackBlocks()
+	}
+	c.cfg.Receiver.host.Send(ack)
+}
+
+// DeliveredBytes returns the number of bytes delivered in order at the
+// receiver, the goodput numerator.
+func (c *Conn) DeliveredBytes() int64 { return c.rcvNxt }
+
+// buildSackBlocks advertises up to MaxSackBlocks scoreboard ranges: the
+// most recently touched block first, then the remaining blocks in
+// rotation so consecutive ACKs cover the whole out-of-order picture.
+func (c *Conn) buildSackBlocks() []netsim.SackBlock {
+	blocks := make([]netsim.SackBlock, 0, netsim.MaxSackBlocks)
+	appendIv := func(iv interval) {
+		for _, b := range blocks {
+			if b.Start == iv.start && b.End == iv.end {
+				return
+			}
+		}
+		blocks = append(blocks, netsim.SackBlock{Start: iv.start, End: iv.end})
+	}
+	// Most recent first: find the (possibly merged) block containing the
+	// last-touched range.
+	for _, iv := range c.ooo {
+		if c.lastTouched.start >= iv.start && c.lastTouched.start < iv.end {
+			appendIv(iv)
+			break
+		}
+	}
+	for i := 0; i < len(c.ooo) && len(blocks) < netsim.MaxSackBlocks; i++ {
+		appendIv(c.ooo[(c.sackRotate+i)%len(c.ooo)])
+	}
+	c.sackRotate++
+	return blocks
+}
+
+func (c *Conn) drainOutOfOrder() {
+	for len(c.ooo) > 0 && c.ooo[0].start <= c.rcvNxt {
+		if c.ooo[0].end > c.rcvNxt {
+			c.rcvNxt = c.ooo[0].end
+		}
+		c.ooo = c.ooo[1:]
+	}
+}
+
+func (c *Conn) insertOutOfOrder(iv interval) {
+	// Keep the list sorted by start and merged; out-of-order islands are
+	// tiny (no SACK), so linear insertion is fine.
+	pos := len(c.ooo)
+	for i, cur := range c.ooo {
+		if iv.start < cur.start {
+			pos = i
+			break
+		}
+	}
+	c.ooo = append(c.ooo, interval{})
+	copy(c.ooo[pos+1:], c.ooo[pos:])
+	c.ooo[pos] = iv
+	// Merge overlaps.
+	merged := c.ooo[:1]
+	for _, cur := range c.ooo[1:] {
+		last := &merged[len(merged)-1]
+		if cur.start <= last.end {
+			if cur.end > last.end {
+				last.end = cur.end
+			}
+			continue
+		}
+		merged = append(merged, cur)
+	}
+	c.ooo = merged
+}

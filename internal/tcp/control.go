@@ -1,0 +1,181 @@
+// Package tcp implements a packet-granularity TCP endpoint over the
+// netsim substrate, at the fidelity of NS2's TCP agents: cumulative ACKs,
+// NewReno fast retransmit / fast recovery without SACK, go-back-N on
+// retransmission timeout, RFC 6298 RTO estimation with a configurable
+// floor, and per-packet echo timestamps for RTT measurement.
+//
+// Window policy is pluggable through the CongestionControl interface
+// (package cc provides DCTCP, L2DCT, CUBIC and GIP; package core provides
+// the paper's TCP-TRIM). The baseline Reno policy lives here because it is
+// the default.
+package tcp
+
+import (
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+)
+
+// Control is the surface a congestion-control module uses to observe and
+// steer its connection. It is implemented by *Conn.
+type Control interface {
+	// Now returns the current virtual time.
+	Now() sim.Time
+	// After schedules fn on the simulation clock (for policy-internal
+	// timers such as TCP-TRIM's probe deadline).
+	After(d time.Duration, fn func()) *sim.Timer
+
+	// Cwnd returns the congestion window in segments.
+	Cwnd() float64
+	// SetCwnd sets the congestion window in segments; values below the
+	// configured minimum window are clamped.
+	SetCwnd(w float64)
+	// Ssthresh returns the slow-start threshold in segments.
+	Ssthresh() float64
+	// SetSsthresh sets the slow-start threshold in segments.
+	SetSsthresh(w float64)
+	// MinCwnd returns the configured window floor in segments.
+	MinCwnd() float64
+
+	// FlightSegs returns the number of segments currently outstanding.
+	FlightSegs() int
+
+	// SRTT returns the connection's RFC 6298 smoothed RTT estimate (zero
+	// before the first sample).
+	SRTT() time.Duration
+
+	// SinceLastSend returns the idle interval since the last data
+	// transmission and whether any data was ever sent.
+	SinceLastSend() (time.Duration, bool)
+
+	// Suspend stops transmission of new data until Resume is called.
+	// Retransmissions and ACK processing continue.
+	Suspend()
+	// Resume re-enables transmission and immediately tries to send.
+	Resume()
+	// AllowBeyondWindow sets (not accumulates) an allowance of n new
+	// segments that may be transmitted even if the congestion window is
+	// full (used by TCP-TRIM to emit its probe packets regardless of
+	// stale flight). Pass 0 to revoke an unused allowance.
+	AllowBeyondWindow(n int)
+
+	// LinkRate returns the configured access-link capacity (the "C" of
+	// the paper's Eq. 22), or 0 when not configured.
+	LinkRate() netsim.Bitrate
+	// WirePacketSize returns the full wire size in bytes of an MSS
+	// segment (payload + header).
+	WirePacketSize() int
+}
+
+// AckEvent describes an ACK that advanced the left window edge.
+type AckEvent struct {
+	// Ack is the cumulative acknowledgement (next expected byte).
+	Ack int64
+	// AckedBytes / AckedSegs quantify the newly acknowledged data.
+	AckedBytes int64
+	AckedSegs  int
+	// RTT is the sample measured from the ACK's echoed timestamp.
+	RTT time.Duration
+	// ECE reports whether the ACK carried an ECN congestion echo.
+	ECE bool
+	// InRecovery reports whether the connection is in fast recovery.
+	InRecovery bool
+}
+
+// SendEvent describes a data segment handed to the network.
+type SendEvent struct {
+	// Seq / EndSeq delimit the segment's payload bytes.
+	Seq    int64
+	EndSeq int64
+	// Retransmit marks retransmissions.
+	Retransmit bool
+	// Gap is the idle interval since the previous data transmission
+	// (zero for the first segment of a connection).
+	Gap time.Duration
+}
+
+// EventKind classifies connection-lifecycle events for observers.
+type EventKind int
+
+// Connection event kinds.
+const (
+	EventSend EventKind = iota + 1
+	EventRetransmit
+	EventAck
+	EventDupAck
+	EventEnterRecovery
+	EventExitRecovery
+	EventTimeout
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventRetransmit:
+		return "retransmit"
+	case EventAck:
+		return "ack"
+	case EventDupAck:
+		return "dupack"
+	case EventEnterRecovery:
+		return "enter-recovery"
+	case EventExitRecovery:
+		return "exit-recovery"
+	case EventTimeout:
+		return "timeout"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observable connection state transition.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// Seq is the segment sequence for send events; Ack the cumulative
+	// acknowledgement for ack events.
+	Seq int64
+	Ack int64
+	// Cwnd and Flight snapshot the window state after the transition.
+	Cwnd   float64
+	Flight int
+}
+
+// Observer receives connection events (see package trace for a ready
+// recorder). Observers must not mutate the connection.
+type Observer interface {
+	Record(ev Event)
+}
+
+// CongestionControl is the pluggable window policy. The connection owns
+// all transport mechanics (sequencing, loss detection, timers) and
+// consults the policy at these points. Implementations are per-connection
+// and not safe for concurrent use — the simulation is single-threaded.
+type CongestionControl interface {
+	// Name identifies the variant in experiment output.
+	Name() string
+	// Attach binds the policy to its connection before any traffic.
+	Attach(ctl Control)
+	// BeforeSend is consulted immediately before each new-data (never
+	// retransmitted) segment is generated. The policy may mutate window
+	// state or suspend the sender.
+	BeforeSend()
+	// OnSent is notified after a new-data segment is handed to the
+	// network. Returning true tags the packet as a probe (trace marker).
+	OnSent(ev SendEvent) bool
+	// OnAck handles a window-advancing ACK: growth and any delay- or
+	// ECN-based reduction policy.
+	OnAck(ev AckEvent)
+	// OnDupAck is notified of each duplicate ACK.
+	OnDupAck()
+	// SsthreshAfterLoss returns the slow-start threshold (in segments)
+	// to install when loss is detected; the connection applies its own
+	// fast-recovery window mechanics around it.
+	SsthreshAfterLoss() float64
+	// OnTimeout is notified after an RTO fired; the connection has
+	// already set cwnd to the minimum window and updated ssthresh.
+	OnTimeout()
+}

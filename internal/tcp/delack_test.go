@@ -1,0 +1,167 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+)
+
+func TestDelayedAckHalvesAckCount(t *testing.T) {
+	run := func(delack time.Duration) Stats {
+		tn := newTestNet(t, gigLink(1000))
+		c := newTestConn(t, tn, Config{DelayedAck: delack})
+		c.SendTrain(200*DefaultMSS, nil)
+		tn.sched.Run()
+		if c.DeliveredBytes() != 200*DefaultMSS {
+			t.Fatalf("incomplete transfer with delack=%v", delack)
+		}
+		return c.Stats()
+	}
+	perPacket := run(0)
+	delayed := run(400 * time.Microsecond)
+	if perPacket.AcksSent != 200 {
+		t.Errorf("per-packet AcksSent = %d, want 200", perPacket.AcksSent)
+	}
+	// Coalescing two-per-ACK should roughly halve the count.
+	if delayed.AcksSent > perPacket.AcksSent*2/3 {
+		t.Errorf("delayed AcksSent = %d, want well below %d", delayed.AcksSent, perPacket.AcksSent)
+	}
+	if delayed.AcksSent < perPacket.AcksSent/3 {
+		t.Errorf("delayed AcksSent = %d, implausibly low", delayed.AcksSent)
+	}
+}
+
+func TestDelayedAckTimerFlushesLoneSegment(t *testing.T) {
+	tn := newTestNet(t, gigLink(100))
+	c := newTestConn(t, tn, Config{DelayedAck: 400 * time.Microsecond})
+	// A single segment has no companion; only the deadline ACKs it.
+	done := false
+	c.SendTrain(DefaultMSS, func(TrainResult) { done = true })
+	tn.sched.RunUntil(sim.At(300 * time.Microsecond))
+	if done {
+		t.Fatal("ACK arrived before the delayed-ACK deadline")
+	}
+	tn.sched.Run()
+	if !done {
+		t.Fatal("train never completed")
+	}
+	if got := c.Stats().AcksSent; got != 1 {
+		t.Errorf("AcksSent = %d, want 1", got)
+	}
+}
+
+func TestDelayedAckStillRecoversFromLoss(t *testing.T) {
+	// Out-of-order arrivals must be acknowledged immediately, so fast
+	// retransmit keeps working with coalescing enabled.
+	tn := newTestNet(t, netsim.LinkConfig{
+		Rate:  netsim.Gbps,
+		Delay: 50 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 20},
+	})
+	c := newTestConn(t, tn, Config{DelayedAck: 400 * time.Microsecond})
+	done := false
+	c.SendTrain(500*DefaultMSS, func(TrainResult) { done = true })
+	tn.sched.Run()
+	if !done {
+		t.Fatal("transfer never completed")
+	}
+	st := c.Stats()
+	if st.FastRecoveries == 0 {
+		t.Error("expected fast recoveries under overflow")
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("timeouts = %d; dup ACKs should have sufficed", st.Timeouts)
+	}
+}
+
+func TestDelayedAckCompletionTimeComparable(t *testing.T) {
+	// Coalescing must not meaningfully slow a bulk transfer (the ACK
+	// clock still ticks every other packet).
+	measure := func(delack time.Duration) time.Duration {
+		tn := newTestNet(t, gigLink(1000))
+		c := newTestConn(t, tn, Config{DelayedAck: delack})
+		var ct time.Duration
+		c.SendTrain(1000*DefaultMSS, func(r TrainResult) { ct = r.CompletionTime() })
+		tn.sched.Run()
+		return ct
+	}
+	perPacket := measure(0)
+	delayed := measure(400 * time.Microsecond)
+	if delayed > perPacket*3/2 {
+		t.Errorf("delayed-ACK transfer %v vs per-packet %v", delayed, perPacket)
+	}
+}
+
+func TestLossInjectionRecovered(t *testing.T) {
+	// 1% random loss on the forward path: the transfer must still
+	// complete via retransmissions.
+	sched := sim.NewScheduler()
+	net := netsim.NewNetwork(sched)
+	a := net.AddHost("a")
+	sw := net.AddSwitch("sw")
+	b := net.AddHost("b")
+	net.Connect(a, sw, gigLink(1000))
+	fwd, _ := net.Connect(sw, b, gigLink(1000))
+	fwd.InjectLoss(0.01, sim.NewRand(7))
+
+	c, err := NewConn(Config{
+		Sender:   NewStack(net, a),
+		Receiver: NewStack(net, b),
+		Flow:     1,
+		MinRTO:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	c.SendTrain(2000*DefaultMSS, func(TrainResult) { done = true })
+	sched.RunUntil(sim.At(10 * time.Second))
+
+	if !done {
+		t.Fatal("transfer never completed under 1% loss")
+	}
+	if fwd.Stats().LossDrops == 0 {
+		t.Error("no packets were actually dropped")
+	}
+	if c.Stats().RetransSegs == 0 {
+		t.Error("no retransmissions despite loss")
+	}
+	if c.DeliveredBytes() != 2000*DefaultMSS {
+		t.Errorf("DeliveredBytes = %d", c.DeliveredBytes())
+	}
+}
+
+func TestLossInjectionClampAndDisable(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	ab, _ := net.Connect(a, b, gigLink(100))
+
+	// Rate 0 with rng set: nothing dropped.
+	ab.InjectLoss(0, sim.NewRand(1))
+	delivered := 0
+	b.SetHandler(func(*netsim.Packet) { delivered++ })
+	for i := 0; i < 50; i++ {
+		a.Send(&netsim.Packet{ID: uint64(i), Src: a.ID(), Dst: b.ID(), Size: 1500})
+	}
+	sched.Run()
+	if delivered != 50 {
+		t.Errorf("delivered = %d with zero loss rate", delivered)
+	}
+
+	// Rate above 1 clamps to 1: everything dropped.
+	ab.InjectLoss(5, sim.NewRand(1))
+	for i := 0; i < 20; i++ {
+		a.Send(&netsim.Packet{ID: uint64(100 + i), Src: a.ID(), Dst: b.ID(), Size: 1500})
+	}
+	sched.Run()
+	if delivered != 50 {
+		t.Errorf("delivered = %d, total-loss pipe leaked packets", delivered)
+	}
+	if ab.Stats().LossDrops != 20 {
+		t.Errorf("LossDrops = %d, want 20", ab.Stats().LossDrops)
+	}
+}

@@ -1,0 +1,66 @@
+package tcp
+
+import (
+	"fmt"
+
+	"tcptrim/internal/netsim"
+)
+
+// Stack is the per-host transport demultiplexer. It installs itself as the
+// host's packet handler and routes ACKs to sending connections and data to
+// receiving connections by flow id.
+type Stack struct {
+	net   *netsim.Network
+	host  *netsim.Host
+	send  map[netsim.FlowID]*Conn
+	recv  map[netsim.FlowID]*Conn
+	stray int
+}
+
+// NewStack attaches a transport stack to host.
+func NewStack(net *netsim.Network, host *netsim.Host) *Stack {
+	s := &Stack{
+		net:  net,
+		host: host,
+		send: make(map[netsim.FlowID]*Conn),
+		recv: make(map[netsim.FlowID]*Conn),
+	}
+	host.SetHandler(s.dispatch)
+	return s
+}
+
+// Host returns the underlying host.
+func (s *Stack) Host() *netsim.Host { return s.host }
+
+// StrayPackets returns the number of packets received with no matching
+// connection (useful for catching wiring mistakes in experiments).
+func (s *Stack) StrayPackets() int { return s.stray }
+
+func (s *Stack) dispatch(pkt *netsim.Packet) {
+	if pkt.IsAck {
+		if c, ok := s.send[pkt.Flow]; ok {
+			c.handleAck(pkt)
+			return
+		}
+	} else if c, ok := s.recv[pkt.Flow]; ok {
+		c.handleData(pkt)
+		return
+	}
+	s.stray++
+}
+
+func (s *Stack) registerSender(flow netsim.FlowID, c *Conn) error {
+	if _, dup := s.send[flow]; dup {
+		return fmt.Errorf("tcp: flow %d already has a sender on %s", flow, s.host.Name())
+	}
+	s.send[flow] = c
+	return nil
+}
+
+func (s *Stack) registerReceiver(flow netsim.FlowID, c *Conn) error {
+	if _, dup := s.recv[flow]; dup {
+		return fmt.Errorf("tcp: flow %d already has a receiver on %s", flow, s.host.Name())
+	}
+	s.recv[flow] = c
+	return nil
+}

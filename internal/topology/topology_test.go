@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+)
+
+func TestStarShape(t *testing.T) {
+	sched := sim.NewScheduler()
+	s := NewStar(sched, 5, DefaultStarLink(100))
+	if len(s.Senders) != 5 {
+		t.Fatalf("senders = %d", len(s.Senders))
+	}
+	// 5 senders + 1 switch + 1 front-end.
+	if s.Net.Nodes() != 7 {
+		t.Errorf("nodes = %d, want 7", s.Net.Nodes())
+	}
+	if s.Bottleneck.Rate() != netsim.Gbps {
+		t.Errorf("bottleneck rate = %v", s.Bottleneck.Rate())
+	}
+
+	// Every sender reaches the front-end.
+	delivered := 0
+	s.FrontEnd.SetHandler(func(*netsim.Packet) { delivered++ })
+	for i, h := range s.Senders {
+		pkt := &netsim.Packet{ID: uint64(i), Flow: netsim.FlowID(i), Src: h.ID(), Dst: s.FrontEnd.ID(), Size: 1500}
+		h.Send(pkt)
+	}
+	sched.Run()
+	if delivered != 5 {
+		t.Errorf("delivered = %d", delivered)
+	}
+}
+
+func TestTwoLevelTreeShape(t *testing.T) {
+	sched := sim.NewScheduler()
+	tree := NewTwoLevelTree(sched, TwoLevelTreeConfig{ToRs: 5})
+	if got := len(tree.AllServers()); got != 210 {
+		t.Fatalf("servers = %d, want 5×42", got)
+	}
+	if tree.FrontEndLink.Rate() != 10*netsim.Gbps {
+		t.Errorf("front-end link = %v", tree.FrontEndLink.Rate())
+	}
+
+	// A server under the last ToR reaches the front-end across 3 hops.
+	src := tree.Servers[4][41]
+	var at sim.Time
+	tree.FrontEnd.SetHandler(func(*netsim.Packet) { at = sched.Now() })
+	src.Send(&netsim.Packet{Flow: 9, Src: src.ID(), Dst: tree.FrontEnd.ID(), Size: 1500})
+	sched.Run()
+	if at == 0 {
+		t.Fatal("packet not delivered")
+	}
+	// Path: server→ToR (20µs, 1G), ToR→fabric (10µs, 10G),
+	// fabric→front-end (10µs, 10G): 12+20 + 1.2+10 + 1.2+10 ≈ 54.4µs.
+	if at < sim.At(50*time.Microsecond) || at > sim.At(60*time.Microsecond) {
+		t.Errorf("delivery at %v, want ≈54µs", at)
+	}
+}
+
+func TestMultiHopPaths(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := NewMultiHop(sched, MultiHopConfig{})
+	if len(m.GroupA) != 10 || len(m.GroupD) != 10 {
+		t.Fatalf("group sizes wrong")
+	}
+
+	// Group A traffic crosses both bottlenecks; group B only the second;
+	// group C→D only the first.
+	before1 := m.Bottleneck1.Stats().SentPackets
+	before2 := m.Bottleneck2.Stats().SentPackets
+	m.FrontEnd.SetHandler(func(*netsim.Packet) {})
+	m.GroupD[0].SetHandler(func(*netsim.Packet) {})
+
+	a := m.GroupA[0]
+	a.Send(&netsim.Packet{Flow: 1, Src: a.ID(), Dst: m.FrontEnd.ID(), Size: 1500})
+	sched.Run()
+	if m.Bottleneck1.Stats().SentPackets != before1+1 || m.Bottleneck2.Stats().SentPackets != before2+1 {
+		t.Error("group A packet must cross both bottlenecks")
+	}
+
+	b := m.GroupB[0]
+	b.Send(&netsim.Packet{Flow: 2, Src: b.ID(), Dst: m.FrontEnd.ID(), Size: 1500})
+	sched.Run()
+	if m.Bottleneck1.Stats().SentPackets != before1+1 {
+		t.Error("group B packet must not cross bottleneck 1")
+	}
+	if m.Bottleneck2.Stats().SentPackets != before2+2 {
+		t.Error("group B packet must cross bottleneck 2")
+	}
+
+	c := m.GroupC[0]
+	c.Send(&netsim.Packet{Flow: 3, Src: c.ID(), Dst: m.GroupD[0].ID(), Size: 1500})
+	sched.Run()
+	if m.Bottleneck1.Stats().SentPackets != before1+2 {
+		t.Error("group C packet must cross bottleneck 1")
+	}
+	if m.Bottleneck2.Stats().SentPackets != before2+2 {
+		t.Error("group C packet must not cross bottleneck 2")
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := netsim.LinkConfig{Rate: 10 * netsim.Gbps, Delay: 10 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 1000}}
+	f, err := NewFatTree(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Hosts) != 16 {
+		t.Errorf("hosts = %d, want k³/4 = 16", len(f.Hosts))
+	}
+	if len(f.Core) != 4 {
+		t.Errorf("core = %d, want (k/2)² = 4", len(f.Core))
+	}
+	// 16 hosts + 4 core + 8 edge + 8 agg = 36 nodes.
+	if f.Net.Nodes() != 36 {
+		t.Errorf("nodes = %d, want 36", f.Net.Nodes())
+	}
+}
+
+func TestFatTreeAllPairsReachable(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := netsim.LinkConfig{Rate: 10 * netsim.Gbps, Delay: 10 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 1000}}
+	f, err := NewFatTree(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make(map[netsim.NodeID]int)
+	for _, h := range f.Hosts {
+		h := h
+		h.SetHandler(func(*netsim.Packet) { received[h.ID()]++ })
+	}
+	flow := netsim.FlowID(0)
+	for _, src := range f.Hosts {
+		for _, dst := range f.Hosts {
+			if src == dst {
+				continue
+			}
+			flow++
+			src.Send(&netsim.Packet{Flow: flow, Src: src.ID(), Dst: dst.ID(), Size: 1500})
+		}
+	}
+	sched.Run()
+	if f.Net.Stats().RoutingDrops != 0 {
+		t.Fatalf("routing drops = %d", f.Net.Stats().RoutingDrops)
+	}
+	for _, h := range f.Hosts {
+		if received[h.ID()] != len(f.Hosts)-1 {
+			t.Errorf("%s received %d, want %d", h.Name(), received[h.ID()], len(f.Hosts)-1)
+		}
+	}
+}
+
+func TestFatTreeECMPUsesMultipleCores(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := netsim.LinkConfig{Rate: 10 * netsim.Gbps, Delay: 10 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 1000}}
+	f, err := NewFatTree(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := f.Hosts[len(f.Hosts)-1] // other pod
+	dst.SetHandler(func(*netsim.Packet) {})
+	src := f.Hosts[0]
+	for i := 0; i < 200; i++ {
+		src.Send(&netsim.Packet{Flow: netsim.FlowID(i), Src: src.ID(), Dst: dst.ID(), Size: 1500})
+	}
+	sched.Run()
+	coresUsed := 0
+	for _, c := range f.Core {
+		for _, p := range f.Net.PipesFrom(c.ID()) {
+			if p.Stats().SentPackets > 0 {
+				coresUsed++
+				break
+			}
+		}
+	}
+	if coresUsed < 2 {
+		t.Errorf("cores used = %d, want ECMP spread over several", coresUsed)
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	sched := sim.NewScheduler()
+	if _, err := NewFatTree(sched, 5, netsim.LinkConfig{Rate: netsim.Gbps}); err == nil {
+		t.Error("odd k must be rejected")
+	}
+	if _, err := NewFatTree(sched, 0, netsim.LinkConfig{Rate: netsim.Gbps}); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+}

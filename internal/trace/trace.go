@@ -1,0 +1,142 @@
+// Package trace records TCP connection lifecycle events (sends, ACKs,
+// recoveries, timeouts) through the tcp.Observer hook, with a bounded
+// ring buffer, kind filtering, summaries, and CSV export — the
+// observability layer for debugging protocol behaviour in experiments.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"tcptrim/internal/tcp"
+)
+
+// DefaultCapacity bounds a Recorder that was created with capacity 0.
+const DefaultCapacity = 1 << 16
+
+// Recorder implements tcp.Observer: it retains the most recent events up
+// to its capacity and counts every event by kind (counts are not subject
+// to eviction).
+type Recorder struct {
+	capacity int
+	events   []tcp.Event
+	start    int // ring start index when full
+	full     bool
+	counts   map[tcp.EventKind]int
+	keep     map[tcp.EventKind]bool
+}
+
+var _ tcp.Observer = (*Recorder)(nil)
+
+// NewRecorder returns a recorder retaining up to capacity events
+// (0 = DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		capacity: capacity,
+		counts:   make(map[tcp.EventKind]int),
+	}
+}
+
+// Keep restricts retention to the given kinds (counting still covers all
+// kinds). Calling Keep with no arguments restores retain-everything.
+func (r *Recorder) Keep(kinds ...tcp.EventKind) *Recorder {
+	if len(kinds) == 0 {
+		r.keep = nil
+		return r
+	}
+	r.keep = make(map[tcp.EventKind]bool, len(kinds))
+	for _, k := range kinds {
+		r.keep[k] = true
+	}
+	return r
+}
+
+// Record implements tcp.Observer.
+func (r *Recorder) Record(ev tcp.Event) {
+	r.counts[ev.Kind]++
+	if r.keep != nil && !r.keep[ev.Kind] {
+		return
+	}
+	if len(r.events) < r.capacity {
+		r.events = append(r.events, ev)
+		return
+	}
+	// Ring: overwrite the oldest.
+	r.events[r.start] = ev
+	r.start = (r.start + 1) % r.capacity
+	r.full = true
+}
+
+// Count returns how many events of the kind were recorded (including any
+// evicted from the ring).
+func (r *Recorder) Count(kind tcp.EventKind) int { return r.counts[kind] }
+
+// Total returns the total number of observed events.
+func (r *Recorder) Total() int {
+	total := 0
+	for _, n := range r.counts {
+		total += n
+	}
+	return total
+}
+
+// Dropped reports whether the ring evicted events.
+func (r *Recorder) Dropped() bool { return r.full }
+
+// Events returns the retained events in arrival order (a copy).
+func (r *Recorder) Events() []tcp.Event {
+	out := make([]tcp.Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Filter returns the retained events of the given kind, in order.
+func (r *Recorder) Filter(kind tcp.EventKind) []tcp.Event {
+	var out []tcp.Event
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteCSV exports the retained events as
+// "seconds,kind,seq,ack,cwnd,flight" rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "seconds,kind,seq,ack,cwnd,flight"); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%.9f,%s,%d,%d,%g,%d\n",
+			ev.At.Seconds(), ev.Kind, ev.Seq, ev.Ack, ev.Cwnd, ev.Flight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counts as a short human-readable line.
+func (r *Recorder) Summary() string {
+	kinds := []tcp.EventKind{
+		tcp.EventSend, tcp.EventRetransmit, tcp.EventAck, tcp.EventDupAck,
+		tcp.EventEnterRecovery, tcp.EventExitRecovery, tcp.EventTimeout,
+	}
+	out := ""
+	for _, k := range kinds {
+		if n := r.counts[k]; n > 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s=%d", k, n)
+		}
+	}
+	if out == "" {
+		return "no events"
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+func ev(kind tcp.EventKind, atUs int64) tcp.Event {
+	return tcp.Event{At: sim.At(time.Duration(atUs) * time.Microsecond), Kind: kind}
+}
+
+func TestRecorderCountsAndRetains(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(ev(tcp.EventSend, 1))
+	r.Record(ev(tcp.EventAck, 2))
+	r.Record(ev(tcp.EventSend, 3))
+	if r.Count(tcp.EventSend) != 2 || r.Count(tcp.EventAck) != 1 {
+		t.Errorf("counts: send=%d ack=%d", r.Count(tcp.EventSend), r.Count(tcp.EventAck))
+	}
+	if r.Total() != 3 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	events := r.Events()
+	if len(events) != 3 || events[0].Kind != tcp.EventSend || events[1].Kind != tcp.EventAck {
+		t.Errorf("events = %v", events)
+	}
+	if got := r.Filter(tcp.EventSend); len(got) != 2 {
+		t.Errorf("Filter(send) = %d", len(got))
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Record(ev(tcp.EventSend, i))
+	}
+	if !r.Dropped() {
+		t.Error("ring should have evicted")
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d", len(events))
+	}
+	// The newest three (3, 4, 5 µs) survive, in order.
+	for i, want := range []int64{3, 4, 5} {
+		if events[i].At != sim.At(time.Duration(want)*time.Microsecond) {
+			t.Errorf("events[%d].At = %v, want %dµs", i, events[i].At, want)
+		}
+	}
+	// Counts are not subject to eviction.
+	if r.Count(tcp.EventSend) != 5 {
+		t.Errorf("Count = %d, want 5", r.Count(tcp.EventSend))
+	}
+}
+
+func TestRecorderKeepFilter(t *testing.T) {
+	r := NewRecorder(10).Keep(tcp.EventTimeout)
+	r.Record(ev(tcp.EventSend, 1))
+	r.Record(ev(tcp.EventTimeout, 2))
+	if len(r.Events()) != 1 {
+		t.Errorf("retained %d, want only timeouts", len(r.Events()))
+	}
+	if r.Count(tcp.EventSend) != 1 {
+		t.Error("counting must still cover filtered kinds")
+	}
+	r.Keep() // reset
+	r.Record(ev(tcp.EventSend, 3))
+	if len(r.Events()) != 2 {
+		t.Error("Keep() should restore retain-everything")
+	}
+}
+
+func TestRecorderCSVAndSummary(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(tcp.Event{At: sim.At(time.Millisecond), Kind: tcp.EventSend, Seq: 1460, Cwnd: 2, Flight: 1})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "seconds,kind,seq,ack,cwnd,flight\n0.001000000,send,1460,0,2,1\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q", sb.String())
+	}
+	if got := r.Summary(); got != "send=1" {
+		t.Errorf("Summary = %q", got)
+	}
+	if got := NewRecorder(1).Summary(); got != "no events" {
+		t.Errorf("empty Summary = %q", got)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for kind, want := range map[tcp.EventKind]string{
+		tcp.EventSend:          "send",
+		tcp.EventRetransmit:    "retransmit",
+		tcp.EventAck:           "ack",
+		tcp.EventDupAck:        "dupack",
+		tcp.EventEnterRecovery: "enter-recovery",
+		tcp.EventExitRecovery:  "exit-recovery",
+		tcp.EventTimeout:       "timeout",
+		tcp.EventKind(0):       "unknown",
+	} {
+		if kind.String() != want {
+			t.Errorf("String(%d) = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}
+
+// TestRecorderEndToEnd traces a real lossy transfer and checks that the
+// recorded events tell a coherent story.
+func TestRecorderEndToEnd(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.NewNetwork(sched)
+	a := net.AddHost("a")
+	sw := net.AddSwitch("sw")
+	b := net.AddHost("b")
+	link := netsim.LinkConfig{
+		Rate:  netsim.Gbps,
+		Delay: 50 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 20},
+	}
+	net.Connect(a, sw, link)
+	net.Connect(sw, b, link)
+
+	rec := NewRecorder(0)
+	conn, err := tcp.NewConn(tcp.Config{
+		Sender:   tcp.NewStack(net, a),
+		Receiver: tcp.NewStack(net, b),
+		Flow:     1,
+		MinRTO:   10 * time.Millisecond,
+		Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SendTrain(500*tcp.DefaultMSS, nil)
+	sched.RunUntil(sim.At(5 * time.Second))
+
+	st := conn.Stats()
+	if got := rec.Count(tcp.EventSend) + rec.Count(tcp.EventRetransmit); got != st.SentSegs {
+		t.Errorf("send events %d != SentSegs %d", got, st.SentSegs)
+	}
+	if got := rec.Count(tcp.EventRetransmit); got != st.RetransSegs {
+		t.Errorf("retransmit events %d != RetransSegs %d", got, st.RetransSegs)
+	}
+	if got := rec.Count(tcp.EventEnterRecovery); got != st.FastRecoveries {
+		t.Errorf("recovery events %d != FastRecoveries %d", got, st.FastRecoveries)
+	}
+	if got := rec.Count(tcp.EventTimeout); got != st.Timeouts {
+		t.Errorf("timeout events %d != Timeouts %d", got, st.Timeouts)
+	}
+	if rec.Count(tcp.EventEnterRecovery) == 0 {
+		t.Error("expected at least one recovery on the shallow queue")
+	}
+	// Events must be time-ordered.
+	events := rec.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}

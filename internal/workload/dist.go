@@ -1,0 +1,197 @@
+// Package workload generates the paper's HTTP traffic: packet trains
+// whose size distribution matches the Fig. 2(a) CDF (≈20% of trains ≤4 KB,
+// ≈70% between 4 KB and 128 KB, ≈10% above 128 KB, overall range
+// 0.5–256 KB), inter-train gaps from hundreds of microseconds to several
+// milliseconds (Fig. 2(b)), and the uniform/exponential response intervals
+// used by the large-scale experiment (Fig. 8). It also provides the
+// packet-train analyzer of Section II.A (trains split at gaps exceeding an
+// inter-train threshold, after Jain's packet-train model).
+//
+// The paper's 2 TB campus trace is proprietary; these generators are the
+// documented substitution (see DESIGN.md): every downstream experiment
+// consumes only the published distribution shapes reproduced here.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Packet-train size mixture bounds (bytes), from Fig. 2(a).
+const (
+	PTMinBytes   = 512
+	PTSmallBytes = 4 << 10   // 4 KB: ≈20% of trains are at or below
+	PTLargeBytes = 128 << 10 // 128 KB: ≈10% of trains are above
+	PTMaxBytes   = 256 << 10
+)
+
+// Mixture weights for the three Fig. 2(a) bands.
+const (
+	ptTinyFraction  = 0.20
+	ptLargeFraction = 0.10
+)
+
+// Inter-train gap range from Fig. 2(b): hundreds of microseconds to
+// several milliseconds, log-uniform.
+const (
+	GapMin = 100 * time.Microsecond
+	GapMax = 10 * time.Millisecond
+)
+
+// SizeDist draws packet-train sizes in bytes.
+type SizeDist interface {
+	Sample(rng *rand.Rand) int
+}
+
+// GapDist draws inter-train gaps.
+type GapDist interface {
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// PTSizes is the Fig. 2(a) mixture: log-uniform within each band,
+// band weights 20/70/10.
+type PTSizes struct{}
+
+var _ SizeDist = PTSizes{}
+
+// Sample implements SizeDist.
+func (PTSizes) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < ptTinyFraction:
+		return logUniformInt(rng, PTMinBytes, PTSmallBytes)
+	case u < 1-ptLargeFraction:
+		return logUniformInt(rng, PTSmallBytes, PTLargeBytes)
+	default:
+		return logUniformInt(rng, PTLargeBytes, PTMaxBytes)
+	}
+}
+
+// UniformSize draws sizes uniformly in [Min, Max] bytes (the paper's
+// "2 KB to 10 KB" responses in Section II.B).
+type UniformSize struct {
+	Min, Max int
+}
+
+var _ SizeDist = UniformSize{}
+
+// Sample implements SizeDist.
+func (u UniformSize) Sample(rng *rand.Rand) int {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Intn(u.Max-u.Min+1)
+}
+
+// FixedSize always returns Bytes.
+type FixedSize struct {
+	Bytes int
+}
+
+var _ SizeDist = FixedSize{}
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(*rand.Rand) int { return f.Bytes }
+
+// JitteredSize draws Mean with a ± Jitter fraction of uniform noise (the
+// testbed's "same mean size with 10% variation").
+type JitteredSize struct {
+	Mean   int
+	Jitter float64
+}
+
+var _ SizeDist = JitteredSize{}
+
+// Sample implements SizeDist.
+func (j JitteredSize) Sample(rng *rand.Rand) int {
+	if j.Jitter <= 0 {
+		return j.Mean
+	}
+	f := 1 + j.Jitter*(2*rng.Float64()-1)
+	v := int(float64(j.Mean) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// PTGaps is the Fig. 2(b) log-uniform gap distribution.
+type PTGaps struct{}
+
+var _ GapDist = PTGaps{}
+
+// Sample implements GapDist.
+func (PTGaps) Sample(rng *rand.Rand) time.Duration {
+	return logUniformDuration(rng, GapMin, GapMax)
+}
+
+// ExponentialGap draws intervals exponentially with the given mean (the
+// Section II.B "interval between two neighboring responses is randomly
+// generated based on 1 ms mean").
+type ExponentialGap struct {
+	Mean time.Duration
+}
+
+var _ GapDist = ExponentialGap{}
+
+// Sample implements GapDist.
+func (e ExponentialGap) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.Mean))
+}
+
+// UniformGap draws intervals uniformly in [Min, Max].
+type UniformGap struct {
+	Min, Max time.Duration
+}
+
+var _ GapDist = UniformGap{}
+
+// Sample implements GapDist.
+func (u UniformGap) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// FixedGap always returns D.
+type FixedGap struct {
+	D time.Duration
+}
+
+var _ GapDist = FixedGap{}
+
+// Sample implements GapDist.
+func (f FixedGap) Sample(*rand.Rand) time.Duration { return f.D }
+
+func logUniformInt(rng *rand.Rand, lo, hi int) int {
+	v := logUniform(rng, float64(lo), float64(hi))
+	n := int(v)
+	if n < lo {
+		n = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	return n
+}
+
+func logUniformDuration(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	v := logUniform(rng, float64(lo), float64(hi))
+	d := time.Duration(v)
+	if d < lo {
+		d = lo
+	}
+	if d > hi {
+		d = hi
+	}
+	return d
+}
+
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}

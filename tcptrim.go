@@ -1,0 +1,181 @@
+// Package tcptrim is a Go reproduction of "Tuning the Aggressive TCP
+// Behavior for Highly Concurrent HTTP Connections in Data Center"
+// (ICDCS 2016): the TCP-TRIM congestion-control policy, the baseline and
+// comparison protocols (Reno, CUBIC, DCTCP, L2DCT, GIP), and the
+// deterministic packet-level network simulator they run on.
+//
+// This root package is a facade over the implementation packages:
+//
+//   - internal/sim      — virtual time and the event scheduler
+//   - internal/netsim   — packets, links, queues, switches, routing
+//   - internal/tcp      — the TCP endpoint and the CongestionControl API
+//   - internal/core     — TCP-TRIM itself (the paper's contribution)
+//   - internal/cc       — DCTCP, L2DCT, CUBIC, GIP
+//   - internal/httpapp  — persistent-HTTP workload driving
+//   - internal/workload — the paper's traffic distributions and the
+//     packet-train analyzer
+//   - internal/topology — star / tree / multi-hop / fat-tree builders
+//   - internal/experiment — one runner per paper table and figure
+//
+// A minimal simulation looks like:
+//
+//	sched := tcptrim.NewScheduler()
+//	star := tcptrim.NewStar(sched, 5, tcptrim.DefaultStarLink(100))
+//	fleet, err := tcptrim.NewFleet(star.Net, tcptrim.FleetConfig{
+//		Senders:  star.Senders,
+//		FrontEnd: star.FrontEnd,
+//		NewCC:    func() tcptrim.CongestionControl { return tcptrim.NewTrim(tcptrim.TrimConfig{}) },
+//		Base:     tcptrim.ConnConfig{LinkRate: tcptrim.Gbps},
+//	})
+//	// handle err, schedule responses on fleet.Servers, then:
+//	sched.Run()
+//
+// See examples/ for complete programs and cmd/trimsim for the
+// paper-reproduction harness.
+package tcptrim
+
+import (
+	"tcptrim/internal/cc"
+	"tcptrim/internal/core"
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+	"tcptrim/internal/trace"
+)
+
+// Simulation core.
+type (
+	// Scheduler is the deterministic discrete-event loop.
+	Scheduler = sim.Scheduler
+	// Time is a virtual-time instant (nanoseconds from simulation start).
+	Time = sim.Time
+	// Network is a topology of hosts, switches and links.
+	Network = netsim.Network
+	// LinkConfig describes one full-duplex cable.
+	LinkConfig = netsim.LinkConfig
+	// QueueConfig configures a drop-tail (optionally ECN-marking) queue.
+	QueueConfig = netsim.QueueConfig
+	// Bitrate is a link rate in bits per second.
+	Bitrate = netsim.Bitrate
+)
+
+// Transport.
+type (
+	// Conn is one simulated TCP connection.
+	Conn = tcp.Conn
+	// ConnConfig configures a connection.
+	ConnConfig = tcp.Config
+	// Stack is the per-host transport demultiplexer.
+	Stack = tcp.Stack
+	// CongestionControl is the pluggable window policy.
+	CongestionControl = tcp.CongestionControl
+	// TrainResult reports one packet train's completion.
+	TrainResult = tcp.TrainResult
+	// ConnEvent is one observable connection state transition.
+	ConnEvent = tcp.Event
+	// Recorder captures connection events for tracing.
+	Recorder = trace.Recorder
+)
+
+// TCP-TRIM (the paper's contribution) and the comparison policies.
+type (
+	// Trim is the TCP-TRIM policy.
+	Trim = core.Trim
+	// TrimConfig tunes TCP-TRIM; its zero value is the paper's setting.
+	TrimConfig = core.Config
+)
+
+// Application layer and topologies.
+type (
+	// Fleet wires many senders to one front-end.
+	Fleet = httpapp.Fleet
+	// FleetConfig configures NewFleet.
+	FleetConfig = httpapp.FleetConfig
+	// Server drives responses onto one persistent connection.
+	Server = httpapp.Server
+	// Collector gathers response completions.
+	Collector = httpapp.Collector
+	// RPC couples a request connection with a response connection.
+	RPC = httpapp.RPC
+	// ScatterGather fans a request out and waits for every response.
+	ScatterGather = httpapp.ScatterGather
+	// Star is the paper's many-to-one topology.
+	Star = topology.Star
+)
+
+// Link-rate constants.
+const (
+	Kbps = netsim.Kbps
+	Mbps = netsim.Mbps
+	Gbps = netsim.Gbps
+)
+
+// NewScheduler returns an empty event scheduler at time zero.
+func NewScheduler() *Scheduler { return sim.NewScheduler() }
+
+// NewNetwork returns an empty network driven by sched.
+func NewNetwork(sched *Scheduler) *Network { return netsim.NewNetwork(sched) }
+
+// NewConn creates a TCP connection between two stacks.
+func NewConn(cfg ConnConfig) (*Conn, error) { return tcp.NewConn(cfg) }
+
+// NewStack attaches a transport stack to a host.
+func NewStack(net *Network, host *netsim.Host) *Stack { return tcp.NewStack(net, host) }
+
+// NewTrim returns a TCP-TRIM policy (zero cfg = paper settings).
+func NewTrim(cfg TrimConfig) *Trim { return core.New(cfg) }
+
+// NewReno returns the baseline Reno policy (the paper's "TCP").
+func NewReno() CongestionControl { return tcp.NewReno() }
+
+// NewCubic returns a CUBIC policy (the testbed's Linux default).
+func NewCubic() CongestionControl { return cc.NewCubic() }
+
+// NewDCTCP returns a DCTCP policy (requires ECN-enabled connection and
+// marking queues).
+func NewDCTCP() CongestionControl { return cc.NewDCTCP() }
+
+// NewL2DCT returns an L2DCT policy.
+func NewL2DCT() CongestionControl { return cc.NewL2DCT() }
+
+// NewGIP returns the GIP restart-at-minimum-window baseline.
+func NewGIP() CongestionControl { return cc.NewGIP() }
+
+// NewVegas returns a TCP Vegas policy (delay-based related work).
+func NewVegas() CongestionControl { return cc.NewVegas() }
+
+// NewD2TCP returns a deadline-aware DCTCP policy for a flow of totalBytes
+// due by deadline (requires ECN like DCTCP).
+func NewD2TCP(deadline Time, totalBytes int) CongestionControl {
+	return cc.NewD2TCP(deadline, totalBytes)
+}
+
+// NewFleet wires one persistent connection per sender to the front-end.
+func NewFleet(net *Network, cfg FleetConfig) (*Fleet, error) {
+	return httpapp.NewFleet(net, cfg)
+}
+
+// NewStar builds the many-to-one star topology.
+func NewStar(sched *Scheduler, senders int, link LinkConfig) *Star {
+	return topology.NewStar(sched, senders, link)
+}
+
+// DefaultStarLink is the paper's 1 Gbps / 50 µs star link with the given
+// buffer size in packets.
+func DefaultStarLink(bufferPackets int) LinkConfig {
+	return topology.DefaultStarLink(bufferPackets)
+}
+
+// NewRecorder returns a trace recorder to pass as ConnConfig.Observer
+// (0 = default capacity).
+func NewRecorder(capacity int) *Recorder { return trace.NewRecorder(capacity) }
+
+// GuidelineK evaluates the paper's Eq. 22 threshold guideline for a
+// bottleneck of the given capacity (packets per second) and queue-free
+// RTT.
+var GuidelineK = core.GuidelineK
+
+// GuidelineKForLink is GuidelineK for a link rate and wire packet size.
+var GuidelineKForLink = core.GuidelineKForLink
