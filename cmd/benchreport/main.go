@@ -1,0 +1,246 @@
+// Command benchreport runs the repository benchmarks with -benchmem,
+// aggregates the per-benchmark numbers, and writes a JSON report. When a
+// baseline is supplied (raw `go test -bench` output or a previous report),
+// the report also carries the baseline numbers and the relative delta, so
+// a performance change ships with its evidence.
+//
+// Usage:
+//
+//	benchreport -out BENCH_1.json
+//	benchreport -bench 'Fig8LargeScale' -count 3 -baseline before.txt
+//	benchreport -parse after.txt -baseline before.txt -out BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// tier1Benchmarks is the default set: the heaviest end-to-end experiment
+// benchmarks that dominate a full run.
+const tier1Benchmarks = "Fig1PacketTrains|Fig5Concurrency|Fig8LargeScale|Fig9Properties|Eq22KSweep"
+
+// Result is one benchmark's aggregated measurement (mean across runs).
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Delta is the relative change vs the baseline, in percent (negative =
+// improvement).
+type Delta struct {
+	NsPct     float64 `json:"ns_pct"`
+	BytesPct  float64 `json:"bytes_pct"`
+	AllocsPct float64 `json:"allocs_pct"`
+}
+
+// Entry pairs a current measurement with its optional baseline.
+type Entry struct {
+	Result
+	Baseline *Result `json:"baseline,omitempty"`
+	Delta    *Delta  `json:"delta,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Package    string  `json:"package"`
+	BenchRegex string  `json:"bench_regex"`
+	BenchTime  string  `json:"benchtime"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		bench     = fs.String("bench", tier1Benchmarks, "benchmark regex passed to go test -bench")
+		benchtime = fs.String("benchtime", "1x", "value for go test -benchtime")
+		count     = fs.Int("count", 3, "runs per benchmark (go test -count)")
+		pkg       = fs.String("pkg", ".", "package to benchmark")
+		out       = fs.String("out", "BENCH_1.json", "output JSON path")
+		baseline  = fs.String("baseline", "", "baseline file: raw go-test bench output or a previous report")
+		parse     = fs.String("parse", "", "parse this raw bench output instead of running go test")
+		rawOut    = fs.String("raw", "", "also save the raw go test output here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var raw string
+	if *parse != "" {
+		b, err := os.ReadFile(*parse)
+		if err != nil {
+			return err
+		}
+		raw = string(b)
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *bench, "-benchmem",
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg)
+		cmd.Stderr = os.Stderr
+		fmt.Fprintln(os.Stderr, "benchreport: running", strings.Join(cmd.Args, " "))
+		b, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test: %w\n%s", err, b)
+		}
+		raw = string(b)
+	}
+	if *rawOut != "" {
+		if err := os.WriteFile(*rawOut, []byte(raw), 0o644); err != nil {
+			return err
+		}
+	}
+
+	current, err := parseBench(raw)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+
+	var base map[string]Result
+	if *baseline != "" {
+		base, err = loadBaseline(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+
+	report := Report{Package: *pkg, BenchRegex: *bench, BenchTime: *benchtime}
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := Entry{Result: current[name]}
+		if b, ok := base[name]; ok {
+			bl := b
+			e.Baseline = &bl
+			e.Delta = &Delta{
+				NsPct:     pctChange(bl.NsPerOp, e.NsPerOp),
+				BytesPct:  pctChange(bl.BytesPerOp, e.BytesPerOp),
+				AllocsPct: pctChange(bl.AllocsPerOp, e.AllocsPerOp),
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, e)
+	}
+
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	return nil
+}
+
+func pctChange(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before * 100
+}
+
+// benchLine matches `BenchmarkName[-procs]  iterations  <value unit>...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts ns/op, B/op, and allocs/op from go test -bench
+// output, averaging across repeated runs of the same benchmark.
+func parseBench(raw string) (map[string]Result, error) {
+	type acc struct {
+		ns, bytes, allocs float64
+		runs              int
+	}
+	accs := map[string]*acc{}
+	sc := bufio.NewScanner(strings.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		fields := strings.Fields(m[2])
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+		}
+		a.runs++
+		// Fields come in (value, unit) pairs; custom b.ReportMetric units
+		// are skipped.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q for %s", fields[i], name)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.bytes += v
+			case "allocs/op":
+				a.allocs += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result, len(accs))
+	for name, a := range accs {
+		n := float64(a.runs)
+		out[name] = Result{
+			Name:        name,
+			Runs:        a.runs,
+			NsPerOp:     a.ns / n,
+			BytesPerOp:  a.bytes / n,
+			AllocsPerOp: a.allocs / n,
+		}
+	}
+	return out, nil
+}
+
+// loadBaseline accepts either a previous benchreport JSON or raw go-test
+// bench output and returns per-benchmark results.
+func loadBaseline(path string) (map[string]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, "{") {
+		var r Report
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, err
+		}
+		out := make(map[string]Result, len(r.Benchmarks))
+		for _, e := range r.Benchmarks {
+			out[e.Name] = e.Result
+		}
+		return out, nil
+	}
+	return parseBench(string(b))
+}

@@ -66,7 +66,8 @@ type Trim struct {
 	probeEnds   []int64
 	probeRTTs   []time.Duration
 	probesSent  int
-	probeTimer  *sim.Timer
+	probeTimer  sim.Timer
+	probeFn     func()
 	probeRounds int
 	// lastResume marks when the last probe exchange ended; the idle-gap
 	// test measures from it so the probe pause itself never reads as a
@@ -99,6 +100,7 @@ func (t *Trim) Name() string { return "TCP-TRIM" }
 // Attach implements tcp.CongestionControl.
 func (t *Trim) Attach(ctl tcp.Control) {
 	t.ctl = ctl
+	t.probeFn = t.onProbeDeadline
 	if t.cfg.BaseRTT > 0 {
 		// K is a topology constant when D is configured; no need to wait
 		// for RTT samples.
@@ -191,9 +193,7 @@ func (t *Trim) OnSent(ev tcp.SendEvent) bool {
 }
 
 func (t *Trim) armProbeDeadline() {
-	if t.probeTimer != nil {
-		t.probeTimer.Stop()
-	}
+	t.probeTimer.Stop()
 	// Algorithm 2 waits "a smoothed RTT" for the probe ACKs. A literal
 	// 1× deadline races the ACKs themselves (their RTT is at least the
 	// smoothed RTT whenever any queueing exists), so allow 2× before
@@ -202,7 +202,7 @@ func (t *Trim) armProbeDeadline() {
 	if deadline <= 0 {
 		deadline = time.Millisecond
 	}
-	t.probeTimer = t.ctl.After(deadline, t.onProbeDeadline)
+	t.probeTimer = t.ctl.After(deadline, t.probeFn)
 }
 
 // onProbeDeadline fires when a probe ACK failed to arrive within one
@@ -224,10 +224,8 @@ func (t *Trim) endProbe() {
 	// Revoke any unused beyond-window allowance: it exists only so the
 	// probes themselves can depart past stale flight.
 	t.ctl.AllowBeyondWindow(0)
-	if t.probeTimer != nil {
-		t.probeTimer.Stop()
-		t.probeTimer = nil
-	}
+	t.probeTimer.Stop()
+	t.probeTimer = sim.Timer{}
 }
 
 // OnAck implements tcp.CongestionControl: Algorithm 2.

@@ -35,7 +35,7 @@ func newFakeCtl() *fakeCtl {
 }
 
 func (f *fakeCtl) Now() sim.Time { return f.sched.Now() }
-func (f *fakeCtl) After(d time.Duration, fn func()) *sim.Timer {
+func (f *fakeCtl) After(d time.Duration, fn func()) sim.Timer {
 	return f.sched.After(d, fn)
 }
 func (f *fakeCtl) Cwnd() float64 { return f.cwnd }

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"tcptrim/internal/httpapp"
@@ -62,24 +61,15 @@ func RunBufferAblation(protos []Protocol, buffers []int, opts Options) (*BufferR
 			cells = append(cells, cell{p, b})
 		}
 	}
-	rows := make([]*BufferRow, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		i, c := i, c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rows[i], errs[i] = runBufferCell(c.proto, c.buf)
-		}()
+	rows, err := RunTrials(len(cells), func(i int) (*BufferRow, error) {
+		return runBufferCell(cells[i].proto, cells[i].buf)
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	out := &BufferResult{}
-	for i := range cells {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out.Rows = append(out.Rows, *rows[i])
+	for _, row := range rows {
+		out.Rows = append(out.Rows, *row)
 	}
 	_ = opts
 	return out, nil

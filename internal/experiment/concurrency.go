@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"tcptrim/internal/httpapp"
@@ -67,24 +66,15 @@ func RunConcurrency(proto Protocol, lptCounts []int, maxSPT int, opts Options) (
 			keys = append(keys, cellKey{lpts, spts})
 		}
 	}
-	cells := make([]*ConcurrencyCell, len(keys))
-	errs := make([]error, len(keys))
-	var wg sync.WaitGroup
-	for i, k := range keys {
-		i, k := i, k
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cells[i], errs[i] = runConcurrencyCell(proto, k.lpts, k.spts, opts.seed())
-		}()
+	cells, err := RunTrials(len(keys), func(i int) (*ConcurrencyCell, error) {
+		return runConcurrencyCell(proto, keys[i].lpts, keys[i].spts, opts.seed())
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	out := &ConcurrencyResult{Protocol: proto}
-	for i := range keys {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out.Cells = append(out.Cells, *cells[i])
+	for _, c := range cells {
+		out.Cells = append(out.Cells, *c)
 	}
 	return out, nil
 }

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"tcptrim/internal/core"
@@ -47,28 +46,19 @@ type KSweepResult struct {
 func RunKSweep(factors []float64, opts Options) (*KSweepResult, error) {
 	kStar := core.GuidelineKForLink(netsim.Gbps, netsim.MSS+netsim.HeaderSize, ksBaseRTT)
 	out := &KSweepResult{KStar: kStar, Rows: make([]KSweepRow, len(factors))}
-	errs := make([]error, len(factors))
-	var wg sync.WaitGroup
-	for i, f := range factors {
-		i, f := i, f
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			k := time.Duration(f * float64(kStar))
-			row, err := runKSweepCell(k)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			row.Factor = f
-			out.Rows[i] = *row
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	rows, err := RunTrials(len(factors), func(i int) (*KSweepRow, error) {
+		row, err := runKSweepCell(time.Duration(factors[i] * float64(kStar)))
 		if err != nil {
 			return nil, err
 		}
+		row.Factor = factors[i]
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		out.Rows[i] = *row
 	}
 	_ = opts
 	return out, nil

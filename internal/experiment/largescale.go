@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"math/rand"
@@ -87,24 +86,15 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 			cells = append(cells, cell{p, tors})
 		}
 	}
-	rows := make([]*LargeScaleRow, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		i, c := i, c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rows[i], errs[i] = runLargeScaleCell(c.proto, c.tors, reps, opts.seed())
-		}()
+	rows, err := RunTrials(len(cells), func(i int) (*LargeScaleRow, error) {
+		return runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed())
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	out := &LargeScaleResult{}
-	for i := range cells {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out.Rows = append(out.Rows, *rows[i])
+	for _, row := range rows {
+		out.Rows = append(out.Rows, *row)
 	}
 	return out, nil
 }

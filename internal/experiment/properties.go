@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"tcptrim/internal/httpapp"
@@ -79,32 +78,27 @@ func RunProperties(protos []Protocol, minFlows, maxFlows int, opts Options) (*Pr
 			cells = append(cells, cell{proto: p, flows: n})
 		}
 	}
-	rows := make([]*PropertiesRow, len(cells))
-	traces := make([]*metrics.Series, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		i, c := i, c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rows[i], traces[i], errs[i] = runPropertiesCell(c.proto, c.flows, c.trace)
-		}()
+	type propCell struct {
+		row   *PropertiesRow
+		trace *metrics.Series
 	}
-	wg.Wait()
+	results, err := RunTrials(len(cells), func(i int) (propCell, error) {
+		row, trace, err := runPropertiesCell(cells[i].proto, cells[i].flows, cells[i].trace)
+		return propCell{row: row, trace: trace}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, c := range cells {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		if c.trace {
-			out.QueueTrace[c.proto] = traces[i]
+			out.QueueTrace[c.proto] = results[i].trace
 			name := "fig9-queue-" + string(c.proto)
-			if err := saveSeriesCSV(opts, name, "packets", traces[i]); err != nil {
+			if err := saveSeriesCSV(opts, name, "packets", results[i].trace); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		out.Rows = append(out.Rows, *rows[i])
+		out.Rows = append(out.Rows, *results[i].row)
 	}
 	return out, nil
 }

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunTrialsOrderedResults(t *testing.T) {
+	// Results come back indexed by trial regardless of which worker ran
+	// what or in which order trials finished.
+	got, err := RunTrials(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunTrialsRunsEachExactlyOnce(t *testing.T) {
+	var counts [37]atomic.Int64
+	if _, err := RunTrials(len(counts), func(i int) (struct{}, error) {
+		counts[i].Add(1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Errorf("trial %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestRunTrialsZeroAndNegative(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		got, err := RunTrials(n, func(i int) (int, error) {
+			t.Fatalf("fn called for n=%d", n)
+			return 0, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("n=%d: len = %d, want 0", n, len(got))
+		}
+	}
+}
+
+func TestRunTrialsReturnsLowestIndexError(t *testing.T) {
+	// All trials run to completion; the error reported is the one from
+	// the lowest-index failing trial, deterministically.
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	var ran atomic.Int64
+	got, err := RunTrials(50, func(i int) (int, error) {
+		ran.Add(1)
+		switch i {
+		case 7:
+			return 0, errLow
+		case 31:
+			return 0, errHigh
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want %v", err, errLow)
+	}
+	if ran.Load() != 50 {
+		t.Errorf("ran %d trials, want 50", ran.Load())
+	}
+	// Partial results for the successful trials are still populated.
+	if got[4] != 4 || got[40] != 40 {
+		t.Errorf("partial results lost: got[4]=%d got[40]=%d", got[4], got[40])
+	}
+}
+
+func TestRunTrialsPanicPropagatesWithIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("recovered %T, want string", r)
+		}
+		if !strings.Contains(msg, "trial 13") || !strings.Contains(msg, "boom") {
+			t.Errorf("panic message %q missing trial index or cause", msg)
+		}
+	}()
+	_, _ = RunTrials(40, func(i int) (int, error) {
+		if i == 13 {
+			panic("boom")
+		}
+		return i, nil
+	})
+}

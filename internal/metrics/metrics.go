@@ -57,16 +57,33 @@ func (s *Summary) Std() float64 {
 	return math.Sqrt(s.m2 / float64(s.n-1))
 }
 
-// Distribution retains samples for percentile and CDF queries.
+// Distribution retains samples for percentile and CDF queries. Order
+// statistics are maintained incrementally: the sorted prefix survives
+// across queries, and samples added since the last query are sorted and
+// merged in on demand (O(k log k + n) for k new samples rather than a full
+// O(n log n) re-sort). Sum, min, and max are tracked streaming, so Mean,
+// Min, and Max never sort at all — the experiment summary stages
+// interleave Adds and queries heavily, which made re-sorting hot.
 type Distribution struct {
 	samples []float64
-	sorted  bool
+	// sorted is the length of the sorted prefix of samples.
+	sorted int
+	// scratch is the merge buffer for ensureSorted, reused across queries.
+	scratch  []float64
+	sum      float64
+	min, max float64
 }
 
 // Add appends one sample.
 func (d *Distribution) Add(x float64) {
+	if len(d.samples) == 0 || x < d.min {
+		d.min = x
+	}
+	if len(d.samples) == 0 || x > d.max {
+		d.max = x
+	}
+	d.sum += x
 	d.samples = append(d.samples, x)
-	d.sorted = false
 }
 
 // AddDuration appends a duration sample in seconds.
@@ -80,30 +97,14 @@ func (d *Distribution) Mean() float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range d.samples {
-		sum += v
-	}
-	return sum / float64(len(d.samples))
+	return d.sum / float64(len(d.samples))
 }
 
 // Min returns the smallest sample (0 when empty).
-func (d *Distribution) Min() float64 {
-	if len(d.samples) == 0 {
-		return 0
-	}
-	d.ensureSorted()
-	return d.samples[0]
-}
+func (d *Distribution) Min() float64 { return d.min }
 
 // Max returns the largest sample (0 when empty).
-func (d *Distribution) Max() float64 {
-	if len(d.samples) == 0 {
-		return 0
-	}
-	d.ensureSorted()
-	return d.samples[len(d.samples)-1]
-}
+func (d *Distribution) Max() float64 { return d.max }
 
 // Percentile returns the p-th percentile (p in [0,100]) using nearest-rank
 // interpolation; 0 when empty.
@@ -164,11 +165,35 @@ func (d *Distribution) FractionBelow(x float64) float64 {
 	return float64(idx) / float64(len(d.samples))
 }
 
+// ensureSorted restores full sorted order by sorting only the unsorted
+// tail and merging it into the sorted prefix.
 func (d *Distribution) ensureSorted() {
-	if !d.sorted {
-		sort.Float64s(d.samples)
-		d.sorted = true
+	n := len(d.samples)
+	if d.sorted == n {
+		return
 	}
+	tail := d.samples[d.sorted:]
+	sort.Float64s(tail)
+	if d.sorted > 0 {
+		// Forward merge of (prefix copy, tail) into samples. Writing index
+		// k = i+j never overtakes the unread tail element at sorted+j
+		// while the prefix copy still has elements (i < sorted), so the
+		// in-place merge is safe without copying the tail.
+		d.scratch = append(d.scratch[:0], d.samples[:d.sorted]...)
+		i, j, k := 0, 0, 0
+		for i < len(d.scratch) && j < len(tail) {
+			if d.scratch[i] <= tail[j] {
+				d.samples[k] = d.scratch[i]
+				i++
+			} else {
+				d.samples[k] = tail[j]
+				j++
+			}
+			k++
+		}
+		copy(d.samples[k:], d.scratch[i:])
+	}
+	d.sorted = n
 }
 
 // TimePoint is one (time, value) observation.

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -129,6 +131,72 @@ func TestDistributionAddAfterQuery(t *testing.T) {
 	if d.Min() != 1 {
 		t.Errorf("Min after late add = %v", d.Min())
 	}
+}
+
+func TestDistributionInterleavedMatchesNaive(t *testing.T) {
+	// Heavy Add/query interleaving exercises the incremental tail-merge:
+	// every query must see exactly what a from-scratch sort would.
+	rng := rand.New(rand.NewSource(11))
+	var d Distribution
+	var naive []float64
+	for round := 0; round < 50; round++ {
+		k := 1 + rng.Intn(20)
+		for j := 0; j < k; j++ {
+			x := rng.NormFloat64() * 100
+			d.Add(x)
+			naive = append(naive, x)
+		}
+		ref := append([]float64(nil), naive...)
+		sort.Float64s(ref)
+		for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+			want := naivePercentile(ref, p)
+			if got := d.Percentile(p); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("round %d: P%v = %v, want %v", round, p, got, want)
+			}
+		}
+		if got, want := d.Min(), ref[0]; got != want {
+			t.Fatalf("round %d: Min = %v, want %v", round, got, want)
+		}
+		if got, want := d.Max(), ref[len(ref)-1]; got != want {
+			t.Fatalf("round %d: Max = %v, want %v", round, got, want)
+		}
+		var sum float64
+		for _, x := range ref {
+			sum += x
+		}
+		if got, want := d.Mean(), sum/float64(len(ref)); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("round %d: Mean = %v, want %v", round, got, want)
+		}
+		if got, want := d.FractionBelow(0), fracBelow(ref, 0); got != want {
+			t.Fatalf("round %d: FractionBelow(0) = %v, want %v", round, got, want)
+		}
+	}
+}
+
+func naivePercentile(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func fracBelow(sorted []float64, x float64) float64 {
+	n := 0
+	for _, v := range sorted {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(sorted))
 }
 
 func TestSamplePeriodic(t *testing.T) {

@@ -34,6 +34,11 @@ type Network struct {
 	routes map[NodeID]map[NodeID][]*Pipe
 	stats  NetworkStats
 	nextID NodeID
+
+	// freePkts is the packet free list (see pool.go). Single-goroutine,
+	// lock-free.
+	freePkts  []*Packet
+	poolStats PoolStats
 }
 
 // NewNetwork returns an empty network driven by sched.
@@ -91,12 +96,12 @@ func (n *Network) register(node Node) {
 // directed pipes (a→b, b→a). Adding links invalidates cached routes.
 func (n *Network) Connect(a, b Node, cfg LinkConfig) (*Pipe, *Pipe) {
 	ab := &Pipe{
-		sched: n.sched, from: a, to: b,
+		sched: n.sched, net: n, from: a, to: b,
 		rate: cfg.Rate, delay: cfg.Delay,
 		queue: NewQueue(cfg.Queue),
 	}
 	ba := &Pipe{
-		sched: n.sched, from: b, to: a,
+		sched: n.sched, net: n, from: b, to: a,
 		rate: cfg.Rate, delay: cfg.Delay,
 		queue: NewQueue(cfg.Queue),
 	}
@@ -116,11 +121,13 @@ func (n *Network) forward(node Node, pkt *Packet) {
 	pkt.Hops++
 	if pkt.Hops > maxHops {
 		n.stats.RoutingDrops++
+		n.ReleasePacket(pkt)
 		return
 	}
 	hops := n.nextHops(node.ID(), pkt.Dst)
 	if len(hops) == 0 {
 		n.stats.RoutingDrops++
+		n.ReleasePacket(pkt)
 		return
 	}
 	pipe := hops[0]

@@ -36,6 +36,10 @@ func (h *Host) ID() NodeID { return h.id }
 // Name implements Node.
 func (h *Host) Name() string { return h.name }
 
+// Network returns the network this host belongs to (the transport layer
+// uses it to reach the packet free list).
+func (h *Host) Network() *Network { return h.net }
+
 // SetHandler installs the delivery callback for packets addressed to this
 // host. The transport layer installs its demultiplexer here.
 func (h *Host) SetHandler(fn Handler) { h.handler = fn }
@@ -49,12 +53,7 @@ func (h *Host) SetTap(fn Handler) { h.tap = fn }
 // Receive implements Node.
 func (h *Host) Receive(pkt *Packet, _ *Pipe) {
 	if pkt.Dst == h.id {
-		if h.tap != nil {
-			h.tap(pkt)
-		}
-		if h.handler != nil {
-			h.handler(pkt)
-		}
+		h.deliver(pkt)
 		return
 	}
 	h.net.forward(h, pkt)
@@ -64,15 +63,23 @@ func (h *Host) Receive(pkt *Packet, _ *Pipe) {
 func (h *Host) Send(pkt *Packet) {
 	if pkt.Dst == h.id {
 		// Loopback: deliver immediately at the current instant.
-		if h.tap != nil {
-			h.tap(pkt)
-		}
-		if h.handler != nil {
-			h.handler(pkt)
-		}
+		h.deliver(pkt)
 		return
 	}
 	h.net.forward(h, pkt)
+}
+
+// deliver runs the tap and handler, then recycles the packet: delivery is
+// the end of a packet's life, and neither taps nor handlers may retain it
+// (or its Sack slice) past their return.
+func (h *Host) deliver(pkt *Packet) {
+	if h.tap != nil {
+		h.tap(pkt)
+	}
+	if h.handler != nil {
+		h.handler(pkt)
+	}
+	h.net.ReleasePacket(pkt)
 }
 
 // Switch is a store-and-forward switch. Each egress port is a Pipe with

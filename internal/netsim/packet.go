@@ -87,6 +87,12 @@ type Packet struct {
 
 	// Hops counts forwarding steps, guarding against routing loops.
 	Hops int
+
+	// pooled marks packets allocated from a Network's free list; inPool
+	// guards against double release. Hand-built packets have both false
+	// and are never recycled.
+	pooled bool
+	inPool bool
 }
 
 // String renders a compact human-readable packet description for traces.

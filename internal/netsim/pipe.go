@@ -47,6 +47,7 @@ type PipeStats struct {
 // of pipes created by Network.Connect.
 type Pipe struct {
 	sched *sim.Scheduler
+	net   *Network
 	from  Node
 	to    Node
 	rate  Bitrate
@@ -67,6 +68,16 @@ type Pipe struct {
 	maxJitter   time.Duration
 	jitterRng   *rand.Rand
 	lastArrival sim.Time
+
+	// Per-pipe event plumbing, allocated once instead of one closure per
+	// packet: txPkt is the packet currently serializing, inFlight the FIFO
+	// of packets on the wire (arrival events fire in schedule order, so
+	// the head is always the next to deliver).
+	txPkt      *Packet
+	inFlight   []*Packet
+	flightHead int
+	txDoneFn   func()
+	deliverFn  func()
 }
 
 // InjectJitter adds uniform random extra propagation delay in
@@ -119,6 +130,7 @@ func (p *Pipe) Stats() PipeStats { return p.stats }
 func (p *Pipe) Send(pkt *Packet) {
 	if p.rng != nil && p.lossRate > 0 && p.rng.Float64() < p.lossRate {
 		p.stats.LossDrops++
+		p.release(pkt)
 		return
 	}
 	if !p.busy {
@@ -128,38 +140,84 @@ func (p *Pipe) Send(pkt *Packet) {
 		p.transmit(pkt)
 		return
 	}
-	p.queue.Enqueue(pkt)
+	if !p.queue.Enqueue(pkt) {
+		p.release(pkt)
+	}
+}
+
+// release returns a dead packet to its network's free list (no-op for
+// hand-built packets or pipes wired without a Network, as in unit tests).
+func (p *Pipe) release(pkt *Packet) {
+	if p.net != nil {
+		p.net.ReleasePacket(pkt)
+	}
 }
 
 // transmit serializes pkt and schedules its arrival at the peer, then
-// pulls the next queued packet.
+// pulls the next queued packet. The serialization-done and delivery
+// callbacks are bound once per pipe: per-packet state travels through
+// txPkt and the inFlight FIFO instead of fresh closures, keeping the
+// transmit path allocation-free.
 func (p *Pipe) transmit(pkt *Packet) {
+	if p.txDoneFn == nil {
+		p.txDoneFn = p.onTxDone
+		p.deliverFn = p.onDeliver
+	}
 	p.busy = true
 	p.stats.SentPackets++
 	p.stats.SentBytes += int64(pkt.Size)
-	txDone := p.rate.TransmitTime(pkt.Size)
-	p.sched.After(txDone, func() {
-		arrival := pkt
-		delay := p.delay
-		if p.jitterRng != nil && p.maxJitter > 0 {
-			delay += time.Duration(p.jitterRng.Int63n(int64(p.maxJitter) + 1))
-		}
-		at := p.sched.Now().Add(delay)
-		if at < p.lastArrival {
-			// Keep the wire FIFO: jitter may delay, never reorder.
-			at = p.lastArrival
-		}
-		p.lastArrival = at
-		if _, err := p.sched.At(at, func() {
-			p.to.Receive(arrival, p)
-		}); err != nil {
-			// Unreachable: at is never in the past.
-			p.sched.After(0, func() { p.to.Receive(arrival, p) })
-		}
-		if next := p.queue.Dequeue(); next != nil {
-			p.transmit(next)
-			return
-		}
-		p.busy = false
-	})
+	p.txPkt = pkt
+	p.sched.After(p.rate.TransmitTime(pkt.Size), p.txDoneFn)
+}
+
+// onTxDone fires when the current packet finished serializing: put it on
+// the wire and start on the next queued packet.
+func (p *Pipe) onTxDone() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	delay := p.delay
+	if p.jitterRng != nil && p.maxJitter > 0 {
+		delay += time.Duration(p.jitterRng.Int63n(int64(p.maxJitter) + 1))
+	}
+	at := p.sched.Now().Add(delay)
+	if at < p.lastArrival {
+		// Keep the wire FIFO: jitter may delay, never reorder.
+		at = p.lastArrival
+	}
+	p.lastArrival = at
+	p.pushFlight(pkt)
+	if _, err := p.sched.At(at, p.deliverFn); err != nil {
+		// Unreachable: at is never in the past.
+		p.sched.After(0, p.deliverFn)
+	}
+	if next := p.queue.Dequeue(); next != nil {
+		p.transmit(next)
+		return
+	}
+	p.busy = false
+}
+
+// onDeliver hands the next wire arrival to the peer. Arrival events are
+// scheduled in FIFO order with nondecreasing times, so the scheduler
+// fires them in push order and the flight head is always the right
+// packet.
+func (p *Pipe) onDeliver() {
+	p.to.Receive(p.popFlight(), p)
+}
+
+func (p *Pipe) pushFlight(pkt *Packet) {
+	p.inFlight = append(p.inFlight, pkt)
+}
+
+func (p *Pipe) popFlight() *Packet {
+	pkt := p.inFlight[p.flightHead]
+	p.inFlight[p.flightHead] = nil
+	p.flightHead++
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if p.flightHead > 32 && p.flightHead*2 >= len(p.inFlight) {
+		n := copy(p.inFlight, p.inFlight[p.flightHead:])
+		p.inFlight = p.inFlight[:n]
+		p.flightHead = 0
+	}
+	return pkt
 }

@@ -1,0 +1,57 @@
+package netsim
+
+// Packet recycling. Steady-state simulation churns through millions of
+// packets whose lifetime is a handful of events (serialize → propagate →
+// deliver or drop); allocating each one individually makes the garbage
+// collector the bottleneck of large-scale experiments. Every Network owns
+// a free list of packets instead: the transport layer allocates from it
+// and the network layer returns packets at their well-defined death
+// points (delivery to a host handler, tail drop, injected loss, routing
+// drop).
+//
+// The simulation is single-goroutine per Network, so the free list needs
+// no locking. Packets built by hand (&Packet{...}, as tests do) are not
+// marked pooled and are ignored by ReleasePacket, which keeps external
+// ownership semantics unchanged: only packets obtained from AllocPacket
+// are ever recycled.
+
+// PoolStats counts packet free-list traffic.
+type PoolStats struct {
+	// Allocs counts AllocPacket calls that had to allocate a fresh packet.
+	Allocs int
+	// Reuses counts AllocPacket calls served from the free list.
+	Reuses int
+}
+
+// AllocPacket returns a zeroed packet owned by the caller. The packet's
+// Sack slice retains its previous capacity so SACK-carrying ACKs do not
+// reallocate in steady state. The caller must hand the packet to the
+// network (Host.Send) or return it with ReleasePacket.
+func (n *Network) AllocPacket() *Packet {
+	if l := len(n.freePkts); l > 0 {
+		p := n.freePkts[l-1]
+		n.freePkts[l-1] = nil
+		n.freePkts = n.freePkts[:l-1]
+		p.inPool = false
+		n.poolStats.Reuses++
+		return p
+	}
+	n.poolStats.Allocs++
+	return &Packet{pooled: true}
+}
+
+// ReleasePacket returns a packet obtained from AllocPacket to the free
+// list, zeroing its fields. Packets not allocated from this pool (built
+// by hand or already released) are ignored, so callers may release
+// unconditionally at packet-death points.
+func (n *Network) ReleasePacket(p *Packet) {
+	if p == nil || !p.pooled || p.inPool {
+		return
+	}
+	sack := p.Sack[:0]
+	*p = Packet{pooled: true, inPool: true, Sack: sack}
+	n.freePkts = append(n.freePkts, p)
+}
+
+// PoolStats returns a copy of the packet free-list counters.
+func (n *Network) PoolStats() PoolStats { return n.poolStats }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The free list recycles fired and cancelled events; generation counters
+// must keep stale Timer handles from touching the event's next life.
+
+func TestTimerStopPendingAfterFire(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before firing")
+	}
+	s.RunUntil(At(10 * time.Millisecond))
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if tm.Pending() {
+		t.Error("Pending() = true after fire")
+	}
+	if tm.Stop() {
+		t.Error("Stop() = true after fire")
+	}
+}
+
+func TestTimerGenerationAliasing(t *testing.T) {
+	// After a timer fires, its event returns to the free list and is
+	// reused by the next schedule. The stale handle must be inert: it
+	// must not cancel or report the new occupant.
+	s := NewScheduler()
+	s.After(time.Millisecond, func() {})
+	old := s.After(2*time.Millisecond, func() {})
+	s.RunUntil(At(10 * time.Millisecond))
+
+	secondFired := false
+	fresh := s.After(time.Millisecond, func() { secondFired = true })
+	if old.Pending() {
+		t.Error("stale handle reports Pending for recycled event")
+	}
+	if old.Stop() {
+		t.Error("stale handle Stop() returned true")
+	}
+	if !fresh.Pending() {
+		t.Fatal("stale Stop() cancelled the recycled event")
+	}
+	s.RunUntil(At(20 * time.Millisecond))
+	if !secondFired {
+		t.Error("recycled event did not fire")
+	}
+}
+
+func TestTimerStopThenReschedule(t *testing.T) {
+	// Stop returns the event to the free list immediately; a new After
+	// reuses it. The stopped handle must stay dead.
+	s := NewScheduler()
+	tm := s.After(time.Millisecond, func() { t.Error("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop() on pending timer = false")
+	}
+	if tm.Stop() {
+		t.Error("second Stop() = true")
+	}
+	count := 0
+	s.After(time.Millisecond, func() { count++ })
+	if tm.Pending() {
+		t.Error("stopped handle pending after event reuse")
+	}
+	s.RunUntil(At(10 * time.Millisecond))
+	if count != 1 {
+		t.Fatalf("rescheduled event fired %d times, want 1", count)
+	}
+}
+
+func TestTimerStopFromInsideCallback(t *testing.T) {
+	// A callback that stops its own (already firing) timer must see
+	// Stop() = false: the event was released before the callback ran.
+	s := NewScheduler()
+	var tm Timer
+	stopped := true
+	tm = s.After(time.Millisecond, func() { stopped = tm.Stop() })
+	s.RunUntil(At(10 * time.Millisecond))
+	if stopped {
+		t.Error("Stop() from inside the firing callback returned true")
+	}
+}
+
+func TestSchedulerLenExcludesCancelled(t *testing.T) {
+	s := NewScheduler()
+	a := s.After(time.Millisecond, func() {})
+	s.After(2*time.Millisecond, func() {})
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	a.Stop()
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len() after Stop = %d, want 1", got)
+	}
+	s.RunUntil(At(10 * time.Millisecond))
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len() after drain = %d, want 0", got)
+	}
+}
+
+func TestSchedulerSteadyStateZeroAlloc(t *testing.T) {
+	// In steady state (free list warmed, heap capacity grown), an
+	// After+fire cycle must not allocate: the event comes from the free
+	// list and the Timer handle is a value.
+	s := NewScheduler()
+	fn := func() {}
+	// Warm up: populate the free list and grow the heap.
+	for i := 0; i < 64; i++ {
+		s.After(time.Microsecond, fn)
+	}
+	s.RunUntil(At(time.Millisecond))
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, fn)
+		if !s.Step() {
+			t.Fatal("Step() found no event")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state After+fire allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+func TestEventReuseIdentity(t *testing.T) {
+	// White-box: a fired event's storage is handed back by the next
+	// alloc, so long churn keeps a bounded pool instead of growing.
+	s := NewScheduler()
+	for i := 0; i < 1000; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+	if got := len(s.free) + len(s.heap); got > 4 {
+		t.Errorf("after 1000 sequential events, pool holds %d events, want <= 4", got)
+	}
+}
+
+func TestManyTimersStressWithCancellation(t *testing.T) {
+	// Interleave scheduling, firing, and cancelling at scale; every
+	// non-cancelled event fires exactly once and in order.
+	s := NewScheduler()
+	var fired int
+	var last Time
+	keep := 0
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(1+i%97) * time.Microsecond
+		tm := s.After(d, func() {
+			now := s.Now()
+			if now < last {
+				t.Fatalf("out-of-order fire: %v after %v", now, last)
+			}
+			last = now
+			fired++
+		})
+		if i%3 == 0 {
+			tm.Stop()
+		} else {
+			keep++
+		}
+	}
+	s.RunUntil(At(time.Second))
+	if fired != keep {
+		t.Fatalf("fired %d events, want %d", fired, keep)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -10,82 +9,73 @@ import (
 // virtual time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
+// eventState tracks where an event is in its lifecycle. Cancelled events
+// stay in the heap until popped (lazy cancellation); done events live on
+// the scheduler's free list awaiting reuse.
+type eventState uint8
+
+const (
+	evScheduled eventState = iota
+	evCancelled
+	evDone
+)
+
 // event is a scheduled callback. seq provides stable FIFO ordering among
 // events with the same firing time so that runs are fully deterministic.
+// Events are recycled through a per-scheduler free list; gen is bumped on
+// every recycle so stale Timer handles can detect that their event has
+// been reused for a different callback.
 type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 when popped
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	at    Time
+	seq   uint64
+	gen   uint64
+	fn    func()
+	state eventState
+	sched *Scheduler
 }
 
 // Timer is a handle to a scheduled event that can be cancelled before it
-// fires. The zero value is not usable; timers are created by the Scheduler.
+// fires. Timer is a small value; the zero Timer is valid and behaves as an
+// already-fired timer (Stop reports false, Pending reports false). The
+// generation captured at scheduling time guards against the underlying
+// event struct being recycled for a later callback.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending
 // (i.e., Stop prevented it from firing).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index == -1 {
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.state != evScheduled {
 		return false
 	}
-	t.ev.cancelled = true
+	ev.state = evCancelled
+	ev.fn = nil // release the closure now; the heap entry drains lazily
+	ev.sched.live--
 	return true
 }
 
 // Pending reports whether the timer is scheduled and not yet fired or
 // cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index != -1
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.state == evScheduled
 }
 
 // Scheduler is a deterministic discrete-event loop. All simulation
 // components share one Scheduler and must be driven from a single
 // goroutine.
+//
+// The pending set is a 4-ary min-heap on (at, seq) with lazy cancellation;
+// fired and cancelled events are recycled through a free list, so
+// steady-state scheduling performs no allocations.
 type Scheduler struct {
-	events  eventHeap
+	heap    []*event
+	free    []*event
 	now     Time
 	seq     uint64
+	live    int
 	running bool
 	stopped bool
 	fired   uint64
@@ -99,8 +89,10 @@ func NewScheduler() *Scheduler {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Len returns the number of pending (possibly cancelled) events.
-func (s *Scheduler) Len() int { return len(s.events) }
+// Len returns the number of live pending events: scheduled callbacks that
+// have neither fired nor been cancelled. Cancelled events awaiting lazy
+// removal from the heap are not counted.
+func (s *Scheduler) Len() int { return s.live }
 
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -108,19 +100,19 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // At schedules fn to run at the absolute instant t. Scheduling in the past
 // returns ErrPastEvent; scheduling at the current instant is allowed and
 // runs after all previously scheduled events for that instant.
-func (s *Scheduler) At(t Time, fn func()) (*Timer, error) {
+func (s *Scheduler) At(t Time, fn func()) (Timer, error) {
 	if t < s.now {
-		return nil, ErrPastEvent
+		return Timer{}, ErrPastEvent
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}, nil
+	ev := s.alloc(t, fn)
+	s.push(ev)
+	s.live++
+	return Timer{ev: ev, gen: ev.gen}, nil
 }
 
 // After schedules fn to run d after the current instant. Negative d is
 // clamped to zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -128,7 +120,7 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 	if err != nil {
 		// Unreachable: now+|d| is never in the past. Keep the event loop
 		// alive regardless.
-		return &Timer{}
+		return Timer{}
 	}
 	return timer
 }
@@ -139,17 +131,18 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Step executes the single earliest pending event. It reports whether an
 // event was executed.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		popped, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			return false
-		}
-		if popped.cancelled {
+	for len(s.heap) > 0 {
+		ev := s.pop()
+		if ev.state != evScheduled {
+			s.release(ev)
 			continue
 		}
-		s.now = popped.at
+		s.now = ev.at
 		s.fired++
-		popped.fn()
+		s.live--
+		fn := ev.fn
+		s.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -178,7 +171,7 @@ func (s *Scheduler) RunUntil(t Time) {
 		}
 		s.Step()
 	}
-	if s.now < t && t != End && s.Len() == 0 {
+	if s.now < t && t != End && s.live == 0 {
 		s.now = t
 	}
 }
@@ -186,14 +179,114 @@ func (s *Scheduler) RunUntil(t Time) {
 // Run executes events until the queue is empty or Stop is called.
 func (s *Scheduler) Run() { s.RunUntil(End) }
 
+// alloc takes an event off the free list (or allocates one) and arms it.
+func (s *Scheduler) alloc(at Time, fn func()) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{sched: s}
+	}
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	ev.fn = fn
+	ev.state = evScheduled
+	return ev
+}
+
+// release recycles a popped event. Bumping gen invalidates every Timer
+// handle that still references this event.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.state = evDone
+	s.free = append(s.free, ev)
+}
+
 // peek returns the earliest non-cancelled event without executing it,
 // discarding cancelled heap entries along the way.
 func (s *Scheduler) peek() *event {
-	for len(s.events) > 0 {
-		if !s.events[0].cancelled {
-			return s.events[0]
+	for len(s.heap) > 0 {
+		if s.heap[0].state == evScheduled {
+			return s.heap[0]
 		}
-		heap.Pop(&s.events)
+		s.release(s.pop())
 	}
 	return nil
+}
+
+// --- 4-ary min-heap on (at, seq) ---------------------------------------
+//
+// A specialized flat heap avoids container/heap's interface dispatch and
+// per-element index bookkeeping (lazy cancellation never removes from the
+// middle). The wider fan-out halves the tree depth, trading slightly more
+// comparisons per level for fewer cache-missing levels — a win for the
+// event-churn pattern of the simulator, where the heap rarely exceeds a
+// few thousand entries but is pushed/popped millions of times.
+
+func evLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (s *Scheduler) push(ev *event) {
+	s.heap = append(s.heap, ev)
+	s.siftUp(len(s.heap) - 1)
+}
+
+func (s *Scheduler) pop() *event {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return top
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !evLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if evLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !evLess(h[min], ev) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = ev
 }

@@ -151,8 +151,11 @@ type Conn struct {
 	// RTO state (RFC 6298).
 	srtt     time.Duration
 	rttvar   time.Duration
-	rtoTimer *sim.Timer
+	rtoTimer sim.Timer
 	backoff  int
+	// rtoFn is c.onRTO bound once at construction so re-arming the timer
+	// does not allocate a fresh method-value closure per segment.
+	rtoFn func()
 
 	trains []train
 
@@ -171,7 +174,8 @@ type Conn struct {
 	pendingEcho  sim.Time
 	pendingCE    bool
 	pendingProbe bool
-	ackTimer     *sim.Timer
+	ackTimer     sim.Timer
+	ackFlushFn   func()
 	rcvCEState   bool
 
 	stats   Stats
@@ -219,6 +223,8 @@ func NewConn(cfg Config) (*Conn, error) {
 		ssthresh: defaultSsthresh,
 		minCwnd:  cfg.MinCwnd,
 	}
+	c.rtoFn = c.onRTO
+	c.ackFlushFn = c.flushPendingAck
 	if err := cfg.Sender.registerSender(cfg.Flow, c); err != nil {
 		return nil, err
 	}
@@ -269,7 +275,7 @@ func (c *Conn) Pending() int64 { return c.bufEnd - c.sndUna }
 func (c *Conn) Now() sim.Time { return c.sched.Now() }
 
 // After implements Control.
-func (c *Conn) After(d time.Duration, fn func()) *sim.Timer {
+func (c *Conn) After(d time.Duration, fn func()) sim.Timer {
 	return c.sched.After(d, fn)
 }
 
@@ -444,18 +450,17 @@ func (c *Conn) sendSegment(seq, end int64, retransmit bool) {
 		gap = now.Sub(c.lastSendAt)
 	}
 	payload := int(end - seq)
-	pkt := &netsim.Packet{
-		ID:         c.nextPktID(),
-		Flow:       c.cfg.Flow,
-		Src:        c.cfg.Sender.host.ID(),
-		Dst:        c.cfg.Receiver.host.ID(),
-		Size:       payload + netsim.HeaderSize,
-		Payload:    payload,
-		Seq:        seq,
-		ECT:        c.cfg.ECN,
-		SentAt:     now,
-		Retransmit: retransmit,
-	}
+	pkt := c.cfg.Sender.net.AllocPacket()
+	pkt.ID = c.nextPktID()
+	pkt.Flow = c.cfg.Flow
+	pkt.Src = c.cfg.Sender.host.ID()
+	pkt.Dst = c.cfg.Receiver.host.ID()
+	pkt.Size = payload + netsim.HeaderSize
+	pkt.Payload = payload
+	pkt.Seq = seq
+	pkt.ECT = c.cfg.ECN
+	pkt.SentAt = now
+	pkt.Retransmit = retransmit
 	probe := c.cc.OnSent(SendEvent{Seq: seq, EndSeq: end, Retransmit: retransmit, Gap: gap})
 	if probe {
 		pkt.Probe = true
@@ -476,7 +481,7 @@ func (c *Conn) sendSegment(seq, end int64, retransmit bool) {
 	// RFC 6298: start the timer if it is not running; transmissions must
 	// not postpone an already-armed timer (otherwise a steady stream of
 	// dup-ACK-driven sends can starve the RTO forever).
-	if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+	if !c.rtoTimer.Pending() {
 		c.armRTO()
 	}
 }
@@ -803,18 +808,16 @@ func (c *Conn) rto() time.Duration {
 // armRTO (re)starts the retransmission timer while data is outstanding
 // and stops it otherwise.
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 	if c.sndUna == c.sndNxt {
+		c.rtoTimer = sim.Timer{}
 		return
 	}
-	c.rtoTimer = c.sched.After(c.rto(), c.onRTO)
+	c.rtoTimer = c.sched.After(c.rto(), c.rtoFn)
 }
 
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = sim.Timer{}
 	if c.sndUna == c.sndNxt {
 		return
 	}
@@ -883,7 +886,7 @@ func (c *Conn) handleData(pkt *netsim.Packet) {
 	c.pendingEcho = pkt.SentAt
 	c.pendingCE = pkt.CE
 	c.pendingProbe = pkt.Probe
-	c.ackTimer = c.sched.After(c.cfg.DelayedAck, c.flushPendingAck)
+	c.ackTimer = c.sched.After(c.cfg.DelayedAck, c.ackFlushFn)
 }
 
 // flushPendingAck emits a deferred ACK, if any.
@@ -898,30 +901,27 @@ func (c *Conn) flushPendingAck() {
 
 func (c *Conn) clearPendingAck() {
 	c.ackPending = false
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-		c.ackTimer = nil
-	}
+	c.ackTimer.Stop()
+	c.ackTimer = sim.Timer{}
 }
 
 // sendAck emits a cumulative acknowledgement from the receiver,
 // attaching SACK blocks for any out-of-order data when negotiated.
 func (c *Conn) sendAck(echo sim.Time, ce, probe bool) {
 	c.stats.AcksSent++
-	ack := &netsim.Packet{
-		ID:    c.nextPktID(),
-		Flow:  c.cfg.Flow,
-		Src:   c.cfg.Receiver.host.ID(),
-		Dst:   c.cfg.Sender.host.ID(),
-		Size:  netsim.AckSize,
-		IsAck: true,
-		Ack:   c.rcvNxt,
-		Echo:  echo,
-		ECE:   ce,
-		Probe: probe,
-	}
+	ack := c.cfg.Receiver.net.AllocPacket()
+	ack.ID = c.nextPktID()
+	ack.Flow = c.cfg.Flow
+	ack.Src = c.cfg.Receiver.host.ID()
+	ack.Dst = c.cfg.Sender.host.ID()
+	ack.Size = netsim.AckSize
+	ack.IsAck = true
+	ack.Ack = c.rcvNxt
+	ack.Echo = echo
+	ack.ECE = ce
+	ack.Probe = probe
 	if c.cfg.SACK && len(c.ooo) > 0 {
-		ack.Sack = c.buildSackBlocks()
+		ack.Sack = c.appendSackBlocks(ack.Sack[:0])
 	}
 	c.cfg.Receiver.host.Send(ack)
 }
@@ -930,11 +930,11 @@ func (c *Conn) sendAck(echo sim.Time, ce, probe bool) {
 // receiver, the goodput numerator.
 func (c *Conn) DeliveredBytes() int64 { return c.rcvNxt }
 
-// buildSackBlocks advertises up to MaxSackBlocks scoreboard ranges: the
-// most recently touched block first, then the remaining blocks in
-// rotation so consecutive ACKs cover the whole out-of-order picture.
-func (c *Conn) buildSackBlocks() []netsim.SackBlock {
-	blocks := make([]netsim.SackBlock, 0, netsim.MaxSackBlocks)
+// appendSackBlocks advertises up to MaxSackBlocks scoreboard ranges into
+// blocks (typically a recycled packet's Sack slice): the most recently
+// touched block first, then the remaining blocks in rotation so
+// consecutive ACKs cover the whole out-of-order picture.
+func (c *Conn) appendSackBlocks(blocks []netsim.SackBlock) []netsim.SackBlock {
 	appendIv := func(iv interval) {
 		for _, b := range blocks {
 			if b.Start == iv.start && b.End == iv.end {

@@ -24,7 +24,7 @@ type Control interface {
 	Now() sim.Time
 	// After schedules fn on the simulation clock (for policy-internal
 	// timers such as TCP-TRIM's probe deadline).
-	After(d time.Duration, fn func()) *sim.Timer
+	After(d time.Duration, fn func()) sim.Timer
 
 	// Cwnd returns the congestion window in segments.
 	Cwnd() float64
