@@ -52,9 +52,14 @@ type ImpairmentResult struct {
 	// CwndAtLPTStart is each connection's inherited window when the long
 	// train is released.
 	CwndAtLPTStart []float64
-	// QueueMax / QueueDrops summarize the bottleneck queue.
+	// QueueMax / QueueDrops summarize the bottleneck queue. QueueDrops are
+	// congestion (tail) drops only; fault-layer losses appear in
+	// BottleneckFaults so the two are never conflated.
 	QueueMax   int
 	QueueDrops int
+	// BottleneckFaults are the bottleneck pipe's fault-injection counters
+	// (all zero unless a caller armed injectors on the star's bottleneck).
+	BottleneckFaults netsim.PipeStats
 	// LPTCompletion is each connection's long-train completion time.
 	LPTCompletion []time.Duration
 	// AllDoneBy is when the last response or long train completed.
@@ -156,6 +161,7 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	res.LPTCompletion = lptDone
 	res.QueueMax = int(queueSeries.Max())
 	res.QueueDrops = queue.Stats().Dropped
+	res.BottleneckFaults = star.Bottleneck.Stats()
 	for _, r := range fleet.Collector.Responses() {
 		if r.Completed > res.AllDoneBy {
 			res.AllDoneBy = r.Completed
@@ -203,6 +209,12 @@ func (r *ImpairmentResult) WriteTables(w io.Writer) error {
 	}
 	t.Caption = fmt.Sprintf("queue max %d pkts, drops %d, all done by %v",
 		r.QueueMax, r.QueueDrops, r.AllDoneBy)
+	// Injected-fault counters are appended only when nonzero so fault-free
+	// runs keep their historical byte-identical output.
+	if f := r.BottleneckFaults; f.InjectedDrops() > 0 || f.Reordered > 0 || f.Duplicated > 0 {
+		t.Caption += fmt.Sprintf("; injected faults: %d loss, %d burst, %d flap, %d reordered, %d duplicated",
+			f.LossDrops, f.BurstLossDrops, f.FlapDrops, f.Reordered, f.Duplicated)
+	}
 	if err := t.Write(w); err != nil {
 		return err
 	}

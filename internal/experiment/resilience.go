@@ -1,0 +1,333 @@
+package experiment
+
+// resilience: fault-injection matrix. The paper evaluates TCP-TRIM under
+// congestion only; this extension stresses TCP, TCP-TRIM, and DCTCP with
+// correlated data-center failures — Gilbert–Elliott bursty loss, link
+// flaps, bounded reordering, and packet duplication — injected on the
+// star's bottleneck during a fixed fault window. Each cell reports goodput
+// retention inside the window (relative to the same protocol's fault-free
+// baseline), loss-recovery effort, and how long the fleet needs to drain
+// its backlog once the last fault clears. Every cell runs with the
+// simulator's invariant checker armed, so a fault-layer accounting bug
+// (leaked or double-released packet, queue over bound) fails the
+// experiment loudly instead of skewing the numbers.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+	"tcptrim/internal/workload"
+)
+
+// FaultIntensity bundles one named level of injected faults. The zero
+// value (all fields off) is a clean baseline.
+type FaultIntensity struct {
+	Name string
+	// GE is the bursty-loss channel applied during the fault window.
+	GE netsim.GEConfig
+	// FlapCount outages of FlapDown each, FlapUp apart, inside the window.
+	FlapCount int
+	FlapDown  time.Duration
+	FlapUp    time.Duration
+	// ReorderProb of packets arrive up to ReorderExtra late (out of order).
+	ReorderProb  float64
+	ReorderExtra time.Duration
+	// DupProb of packets arrive twice.
+	DupProb float64
+}
+
+// clean reports whether the intensity injects nothing (a baseline cell).
+func (fi FaultIntensity) clean() bool {
+	return !fi.GE.Enabled() && fi.FlapCount == 0 && fi.ReorderProb == 0 && fi.DupProb == 0
+}
+
+// DefaultFaultIntensities is the ladder the resilience experiment sweeps.
+// GE stationary loss rates: mild ≈ 0.7%, moderate ≈ 4.5%, severe ≈ 20%,
+// with mean burst lengths of 5, 10, and 20 packets respectively.
+var DefaultFaultIntensities = []FaultIntensity{
+	{Name: "none"},
+	{
+		Name:         "mild",
+		GE:           netsim.GEConfig{PGoodBad: 0.005, PBadGood: 0.2, LossBad: 0.3},
+		ReorderProb:  0.02,
+		ReorderExtra: 100 * time.Microsecond,
+		DupProb:      0.01,
+	},
+	{
+		Name:         "moderate",
+		GE:           netsim.GEConfig{PGoodBad: 0.01, PBadGood: 0.1, LossBad: 0.5},
+		FlapCount:    1,
+		FlapDown:     20 * time.Millisecond,
+		FlapUp:       100 * time.Millisecond,
+		ReorderProb:  0.05,
+		ReorderExtra: 200 * time.Microsecond,
+		DupProb:      0.02,
+	},
+	{
+		Name:         "severe",
+		GE:           netsim.GEConfig{PGoodBad: 0.02, PBadGood: 0.05, LossBad: 0.7},
+		FlapCount:    3,
+		FlapDown:     40 * time.Millisecond,
+		FlapUp:       150 * time.Millisecond,
+		ReorderProb:  0.1,
+		ReorderExtra: 500 * time.Microsecond,
+		DupProb:      0.05,
+	},
+}
+
+// ResilienceProtocols are the matrix's default protocol axis.
+var ResilienceProtocols = []Protocol{ProtoTCP, ProtoTRIM, ProtoDCTCP}
+
+// ResilienceRow is one (protocol, intensity) cell.
+type ResilienceRow struct {
+	Protocol  Protocol
+	Intensity string
+	// WindowMbps is the fleet goodput measured inside the fault window;
+	// Retention is WindowMbps relative to the protocol's clean baseline
+	// (negative when no baseline cell ran).
+	WindowMbps float64
+	Retention  float64
+	Timeouts   int
+	Retrans    int
+	// RecoveryTime is how long after the fault window the last response
+	// completed (0 if the backlog drained inside the window; negative if
+	// responses never completed).
+	RecoveryTime time.Duration
+	Complete     int
+	Total        int
+	// Injected separates fault-layer drops/mutations (bottleneck pipe
+	// counters) from CongestionDrops (the bottleneck queue's tail drops).
+	Injected        netsim.PipeStats
+	CongestionDrops int
+}
+
+// ResilienceResult holds the matrix.
+type ResilienceResult struct {
+	Rows []ResilienceRow
+	// FaultWindow documents the injection interval used by every cell.
+	FaultStart, FaultEnd time.Duration
+}
+
+// Resilience scenario constants: the Fig. 4-style star with an ON/OFF
+// response workload shaped to keep the bottleneck busy across the whole
+// fault window.
+const (
+	rsServers    = 3
+	rsPerServer  = 250
+	rsFaultStart = 200 * time.Millisecond
+	rsFaultEnd   = 1200 * time.Millisecond
+	rsDeadline   = 30 * time.Second
+	rsCheckEvery = 5 * time.Millisecond
+)
+
+// RunResilience sweeps protocols × intensities, one independent simulation
+// per cell, each seeded via SplitSeed so the matrix is byte-identical
+// regardless of worker count.
+func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options) (*ResilienceResult, error) {
+	type cell struct {
+		proto Protocol
+		fi    FaultIntensity
+	}
+	var cells []cell
+	for _, p := range protos {
+		for _, fi := range intensities {
+			cells = append(cells, cell{p, fi})
+		}
+	}
+	rows, err := RunSeededTrials(len(cells), opts.seed(), func(i int, seed int64) (*ResilienceRow, error) {
+		return runResilienceCell(cells[i].proto, cells[i].fi, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ResilienceResult{FaultStart: rsFaultStart, FaultEnd: rsFaultEnd}
+	// Baseline goodput per protocol (a clean cell, if the sweep has one).
+	baseline := map[Protocol]float64{}
+	for i, r := range rows {
+		if cells[i].fi.clean() {
+			baseline[r.Protocol] = r.WindowMbps
+		}
+	}
+	for _, r := range rows {
+		if base, ok := baseline[r.Protocol]; ok && base > 0 {
+			r.Retention = r.WindowMbps / base
+		} else {
+			r.Retention = -1
+		}
+		out.Rows = append(out.Rows, *r)
+	}
+	return out, nil
+}
+
+func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64) (*ResilienceRow, error) {
+	rng := sim.NewRand(seed)
+	sched := sim.NewScheduler()
+	star := topology.NewStar(sched, rsServers, netsim.LinkConfig{
+		Rate:  netsim.Gbps,
+		Delay: 50 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 100, ECNThresholdPackets: 20},
+	})
+	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
+		Senders:  star.Senders,
+		FrontEnd: star.FrontEnd,
+		NewCC:    func() tcp.CongestionControl { return MustCCWithBaseRTT(proto, ksBaseRTT) },
+		Base: tcp.Config{
+			MinRTO:   10 * time.Millisecond,
+			SACK:     true,
+			ECN:      UsesECN(proto),
+			LinkRate: netsim.Gbps,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, srv := range fleet.Servers {
+		trains := workload.ScheduleCount(rng, sim.At(100*time.Millisecond), rsPerServer,
+			workload.UniformSize{Min: 8 << 10, Max: 64 << 10},
+			workload.ExponentialGap{Mean: 4 * time.Millisecond})
+		if err := srv.ScheduleTrains(trains); err != nil {
+			return nil, err
+		}
+	}
+
+	// Arm the faults on the bottleneck for the window [rsFaultStart,
+	// rsFaultEnd). Each injector gets its own SplitSeed-derived stream so
+	// adding one fault never perturbs another's draws.
+	bn := star.Bottleneck
+	if _, err := sched.At(sim.At(rsFaultStart), func() {
+		if fi.GE.Enabled() {
+			bn.InjectGilbertElliott(fi.GE, sim.NewRand(SplitSeed(seed, 1)))
+		}
+		if fi.ReorderProb > 0 {
+			bn.InjectReorder(fi.ReorderProb, fi.ReorderExtra, sim.NewRand(SplitSeed(seed, 2)))
+		}
+		if fi.DupProb > 0 {
+			bn.InjectDuplicate(fi.DupProb, sim.NewRand(SplitSeed(seed, 3)))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := sched.At(sim.At(rsFaultEnd), func() {
+		bn.InjectGilbertElliott(netsim.GEConfig{}, nil)
+		bn.InjectReorder(0, 0, nil)
+		bn.InjectDuplicate(0, nil)
+	}); err != nil {
+		return nil, err
+	}
+	if fi.FlapCount > 0 {
+		if err := bn.ScheduleFlaps(netsim.FlapConfig{
+			FirstDownAt: sim.At(rsFaultStart + 50*time.Millisecond),
+			DownFor:     fi.FlapDown,
+			UpFor:       fi.FlapUp,
+			Count:       fi.FlapCount,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Goodput inside the fault window, by snapshotting delivered bytes at
+	// its edges.
+	var bytesAtStart, bytesAtEnd int64
+	if _, err := sched.At(sim.At(rsFaultStart), func() { bytesAtStart = fleet.TotalDelivered() }); err != nil {
+		return nil, err
+	}
+	if _, err := sched.At(sim.At(rsFaultEnd), func() { bytesAtEnd = fleet.TotalDelivered() }); err != nil {
+		return nil, err
+	}
+
+	star.Net.ScheduleInvariantChecks(rsCheckEvery)
+	sched.RunUntil(sim.At(rsDeadline))
+	star.Net.CheckInvariants()
+
+	row := &ResilienceRow{
+		Protocol:  proto,
+		Intensity: fi.Name,
+		Total:     rsServers * rsPerServer,
+		WindowMbps: float64(bytesAtEnd-bytesAtStart) * 8 /
+			(rsFaultEnd - rsFaultStart).Seconds() / 1e6,
+		Injected:        bn.Stats(),
+		CongestionDrops: bn.Queue().Stats().Dropped,
+	}
+	for _, c := range fleet.Conns {
+		row.Timeouts += c.Stats().Timeouts
+		row.Retrans += c.Stats().RetransSegs
+	}
+	row.Complete = len(fleet.Collector.Responses())
+	var last sim.Time
+	for _, resp := range fleet.Collector.Responses() {
+		if resp.Completed > last {
+			last = resp.Completed
+		}
+	}
+	switch {
+	case row.Complete < row.Total:
+		row.RecoveryTime = -1
+	case last > sim.At(rsFaultEnd):
+		row.RecoveryTime = last.Sub(sim.At(rsFaultEnd))
+	}
+	return row, nil
+}
+
+// WriteTables renders the matrix with injected-fault drops reported
+// separately from congestion (tail) drops.
+func (r *ResilienceResult) WriteTables(w io.Writer) error {
+	t := &Table{
+		Title: "Extension: resilience under injected faults",
+		Header: []string{"protocol", "faults", "goodput", "retention", "timeouts",
+			"retrans", "recovery", "inj burst", "inj flap", "inj reord", "inj dup",
+			"cong drops", "completed"},
+		Caption: fmt.Sprintf("goodput measured inside the fault window [%v, %v); "+
+			"injected counters are fault-layer events on the bottleneck, distinct from congestion tail drops",
+			r.FaultStart, r.FaultEnd),
+	}
+	for _, row := range r.Rows {
+		retention := "-"
+		if row.Retention >= 0 {
+			retention = fmt.Sprintf("%.1f%%", 100*row.Retention)
+		}
+		recovery := row.RecoveryTime.Round(100 * time.Microsecond).String()
+		if row.RecoveryTime < 0 {
+			recovery = "never"
+		}
+		t.Rows = append(t.Rows, []string{
+			string(row.Protocol),
+			row.Intensity,
+			fmt.Sprintf("%.1f Mbps", row.WindowMbps),
+			retention,
+			fmt.Sprintf("%d", row.Timeouts),
+			fmt.Sprintf("%d", row.Retrans),
+			recovery,
+			fmt.Sprintf("%d", row.Injected.BurstLossDrops),
+			fmt.Sprintf("%d", row.Injected.FlapDrops),
+			fmt.Sprintf("%d", row.Injected.Reordered),
+			fmt.Sprintf("%d", row.Injected.Duplicated),
+			fmt.Sprintf("%d", row.CongestionDrops),
+			fmt.Sprintf("%d/%d", row.Complete, row.Total),
+		})
+	}
+	return t.Write(w)
+}
+
+var _ = register("resilience", func(opts Options, w io.Writer) error {
+	res, err := RunResilience(ResilienceProtocols, DefaultFaultIntensities, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})
+
+// resilience-smoke is the CI chaos check: one protocol, clean + mild, fast
+// enough for every push.
+var _ = register("resilience-smoke", func(opts Options, w io.Writer) error {
+	res, err := RunResilience([]Protocol{ProtoTRIM}, DefaultFaultIntensities[:2], opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})

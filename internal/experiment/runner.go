@@ -66,6 +66,28 @@ func RunTrials[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	return results, nil
 }
 
+// SplitSeed derives an independent per-trial seed from a base seed and a
+// trial index (splitmix64 finalizer over base + (i+1)·golden-gamma).
+// Deriving seeds this way — instead of seed+i or drawing from a shared rng
+// in hand-out order — makes every trial's random stream a pure function of
+// (base, i), so results cannot depend on how many workers ran the fan-out
+// or which worker picked up which trial.
+func SplitSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunSeededTrials is RunTrials with deterministic per-trial seeding: trial
+// i receives SplitSeed(base, i) and must take all of its randomness from
+// it. Same base, same results — byte-identical regardless of GOMAXPROCS.
+func RunSeededTrials[T any](n int, base int64, fn func(i int, seed int64) (T, error)) ([]T, error) {
+	return RunTrials(n, func(i int) (T, error) {
+		return fn(i, SplitSeed(base, i))
+	})
+}
+
 // runTrial executes one trial, converting a panic into a recorded value so
 // the sibling trials finish before it is re-raised.
 func runTrial[T any](i int, fn func(i int) (T, error), results []T, errs []error, panics []any) {

@@ -32,7 +32,8 @@ func TestRunnersRegistered(t *testing.T) {
 		"abl-alpha", "abl-buffer", "abl-inherit", "abl-probe", "eq22",
 		"ext-deadline", "ext-delay", "ext-jitter", "ext-loss", "ext-scatter",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig13a",
-		"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
+		"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"resilience", "resilience-smoke", "table1",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -36,9 +36,12 @@ type Network struct {
 	nextID NodeID
 
 	// freePkts is the packet free list (see pool.go). Single-goroutine,
-	// lock-free.
+	// lock-free. livePkts counts pooled packets currently outside the free
+	// list — the conservation quantity the invariant checker balances
+	// against per-pipe ownership (see invariant.go).
 	freePkts  []*Packet
 	poolStats PoolStats
+	livePkts  int
 }
 
 // NewNetwork returns an empty network driven by sched.

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -34,12 +35,32 @@ func (r Bitrate) PacketsPerSecond(packetSize int) float64 {
 	return float64(r) / (8 * float64(packetSize))
 }
 
-// PipeStats aggregates lifetime counters for one pipe direction.
+// PipeStats aggregates lifetime counters for one pipe direction. The
+// fault counters are split by injector so experiment output can attribute
+// every injected loss to its cause, distinct from congestion tail drops
+// (which are counted in the queue's QueueStats.Dropped).
 type PipeStats struct {
 	SentPackets int
 	SentBytes   int64
-	// LossDrops counts packets destroyed by injected random loss.
+	// LossDrops counts packets destroyed by injected uniform random loss.
 	LossDrops int
+	// BurstLossDrops counts packets destroyed by the Gilbert–Elliott
+	// bursty-loss model.
+	BurstLossDrops int
+	// FlapDrops counts packets blackholed by a downed link: offered while
+	// down, drained from the queue at the down edge, or already in flight
+	// when the link died.
+	FlapDrops int
+	// Reordered counts packets held back for late out-of-order delivery.
+	Reordered int
+	// Duplicated counts injected packet clones.
+	Duplicated int
+}
+
+// InjectedDrops totals the packets destroyed by fault injection, as
+// opposed to congestion tail drops.
+func (s PipeStats) InjectedDrops() int {
+	return s.LossDrops + s.BurstLossDrops + s.FlapDrops
 }
 
 // Pipe is a unidirectional link: an egress queue feeding a transmitter
@@ -68,6 +89,11 @@ type Pipe struct {
 	maxJitter   time.Duration
 	jitterRng   *rand.Rand
 	lastArrival sim.Time
+
+	// faults holds the composable fault injectors (bursty loss, link
+	// flaps, reordering, duplication); nil until one is configured. See
+	// fault.go.
+	faults *pipeFaults
 
 	// Per-pipe event plumbing, allocated once instead of one closure per
 	// packet: txPkt is the packet currently serializing, inFlight the FIFO
@@ -128,6 +154,22 @@ func (p *Pipe) Stats() PipeStats { return p.stats }
 // starts serializing immediately; otherwise it joins the egress queue
 // (and may be tail-dropped).
 func (p *Pipe) Send(pkt *Packet) {
+	if sim.InvariantChecks() && pkt.inPool {
+		panic(fmt.Sprintf("netsim: released packet offered to pipe %s->%s: %s",
+			p.from.Name(), p.to.Name(), pkt))
+	}
+	if f := p.faults; f != nil {
+		if f.down {
+			p.stats.FlapDrops++
+			p.release(pkt)
+			return
+		}
+		if f.ge != nil && f.ge.drop() {
+			p.stats.BurstLossDrops++
+			p.release(pkt)
+			return
+		}
+	}
 	if p.rng != nil && p.lossRate > 0 && p.rng.Float64() < p.lossRate {
 		p.stats.LossDrops++
 		p.release(pkt)
@@ -171,24 +213,44 @@ func (p *Pipe) transmit(pkt *Packet) {
 }
 
 // onTxDone fires when the current packet finished serializing: put it on
-// the wire and start on the next queued packet.
+// the wire (or hand it to a fault injector) and start on the next queued
+// packet.
 func (p *Pipe) onTxDone() {
 	pkt := p.txPkt
 	p.txPkt = nil
-	delay := p.delay
-	if p.jitterRng != nil && p.maxJitter > 0 {
-		delay += time.Duration(p.jitterRng.Int63n(int64(p.maxJitter) + 1))
-	}
-	at := p.sched.Now().Add(delay)
-	if at < p.lastArrival {
-		// Keep the wire FIFO: jitter may delay, never reorder.
-		at = p.lastArrival
-	}
-	p.lastArrival = at
-	p.pushFlight(pkt)
-	if _, err := p.sched.At(at, p.deliverFn); err != nil {
-		// Unreachable: at is never in the past.
-		p.sched.After(0, p.deliverFn)
+	f := p.faults
+	switch {
+	case f != nil && f.down:
+		// The link died while the packet was serializing.
+		p.stats.FlapDrops++
+		p.release(pkt)
+	default:
+		delay := p.delay
+		if p.jitterRng != nil && p.maxJitter > 0 {
+			delay += time.Duration(p.jitterRng.Int63n(int64(p.maxJitter) + 1))
+		}
+		at := p.sched.Now().Add(delay)
+		if f != nil && f.reorderRng != nil && f.reorderRng.Float64() < f.reorderProb {
+			// Held out of the FIFO: later packets may overtake it.
+			p.deliverLate(pkt, at)
+			break
+		}
+		if at < p.lastArrival {
+			// Keep the wire FIFO: jitter may delay, never reorder.
+			at = p.lastArrival
+		}
+		p.lastArrival = at
+		if f != nil && f.dupRng != nil && f.dupRng.Float64() < f.dupProb {
+			// The clone rides immediately behind the original at the same
+			// instant (FIFO order still holds: equal times fire in push
+			// order).
+			p.stats.Duplicated++
+			p.pushFlight(pkt)
+			p.scheduleDeliver(at)
+			pkt = p.clonePacket(pkt)
+		}
+		p.pushFlight(pkt)
+		p.scheduleDeliver(at)
 	}
 	if next := p.queue.Dequeue(); next != nil {
 		p.transmit(next)
@@ -197,12 +259,27 @@ func (p *Pipe) onTxDone() {
 	p.busy = false
 }
 
+// scheduleDeliver arms one arrival event for the flight FIFO.
+func (p *Pipe) scheduleDeliver(at sim.Time) {
+	if _, err := p.sched.At(at, p.deliverFn); err != nil {
+		// Unreachable: at is never in the past.
+		p.sched.After(0, p.deliverFn)
+	}
+}
+
 // onDeliver hands the next wire arrival to the peer. Arrival events are
 // scheduled in FIFO order with nondecreasing times, so the scheduler
 // fires them in push order and the flight head is always the right
-// packet.
+// packet. A downed link blackholes in-flight packets at their arrival
+// instant.
 func (p *Pipe) onDeliver() {
-	p.to.Receive(p.popFlight(), p)
+	pkt := p.popFlight()
+	if f := p.faults; f != nil && f.down {
+		p.stats.FlapDrops++
+		p.release(pkt)
+		return
+	}
+	p.to.Receive(pkt, p)
 }
 
 func (p *Pipe) pushFlight(pkt *Packet) {

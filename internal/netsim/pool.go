@@ -1,5 +1,11 @@
 package netsim
 
+import (
+	"fmt"
+
+	"tcptrim/internal/sim"
+)
+
 // Packet recycling. Steady-state simulation churns through millions of
 // packets whose lifetime is a handful of events (serialize → propagate →
 // deliver or drop); allocating each one individually makes the garbage
@@ -21,6 +27,8 @@ type PoolStats struct {
 	Allocs int
 	// Reuses counts AllocPacket calls served from the free list.
 	Reuses int
+	// Releases counts packets returned to the free list.
+	Releases int
 }
 
 // AllocPacket returns a zeroed packet owned by the caller. The packet's
@@ -28,6 +36,7 @@ type PoolStats struct {
 // reallocate in steady state. The caller must hand the packet to the
 // network (Host.Send) or return it with ReleasePacket.
 func (n *Network) AllocPacket() *Packet {
+	n.livePkts++
 	if l := len(n.freePkts); l > 0 {
 		p := n.freePkts[l-1]
 		n.freePkts[l-1] = nil
@@ -41,13 +50,25 @@ func (n *Network) AllocPacket() *Packet {
 }
 
 // ReleasePacket returns a packet obtained from AllocPacket to the free
-// list, zeroing its fields. Packets not allocated from this pool (built
-// by hand or already released) are ignored, so callers may release
-// unconditionally at packet-death points.
+// list, zeroing its fields. Packets not allocated from any pool (built by
+// hand, as tests do) are ignored, so callers may release unconditionally
+// at packet-death points. Releasing the same packet twice is a bug — an
+// aliased reference now points into the free list — and panics when
+// invariant checks are enabled (sim.SetInvariantChecks); otherwise the
+// duplicate release is dropped.
 func (n *Network) ReleasePacket(p *Packet) {
-	if p == nil || !p.pooled || p.inPool {
+	if p == nil || !p.pooled {
 		return
 	}
+	if p.inPool {
+		if sim.InvariantChecks() {
+			panic(fmt.Sprintf("netsim: double release of pooled packet (pool=%d live=%d)",
+				len(n.freePkts), n.livePkts))
+		}
+		return
+	}
+	n.livePkts--
+	n.poolStats.Releases++
 	sack := p.Sack[:0]
 	*p = Packet{pooled: true, inPool: true, Sack: sack}
 	n.freePkts = append(n.freePkts, p)
@@ -55,3 +76,8 @@ func (n *Network) ReleasePacket(p *Packet) {
 
 // PoolStats returns a copy of the packet free-list counters.
 func (n *Network) PoolStats() PoolStats { return n.poolStats }
+
+// LivePackets returns the number of pooled packets currently outside the
+// free list. At quiescence (scheduler drained, queues empty) it is zero:
+// every packet has reached one of its death points and been recycled.
+func (n *Network) LivePackets() int { return n.livePkts }

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Invariant checking. The simulator normally trusts its own bookkeeping;
+// with checks enabled, cheap assertions run on the hot paths (monotonic
+// scheduler time here, packet-pool discipline in netsim) and violations
+// panic with a diagnostic dump instead of silently corrupting results.
+// The flag is read on every event, so it is atomic: tests and the chaos
+// harness may flip it around parallel trial fan-outs.
+//
+// Enable via SetInvariantChecks(true) or by setting the TCPTRIM_INVARIANTS
+// environment variable to any non-empty value (the CI test jobs do).
+var invariantChecks atomic.Bool
+
+func init() {
+	if os.Getenv("TCPTRIM_INVARIANTS") != "" {
+		invariantChecks.Store(true)
+	}
+}
+
+// SetInvariantChecks enables or disables internal invariant assertions.
+func SetInvariantChecks(on bool) { invariantChecks.Store(on) }
+
+// InvariantChecks reports whether invariant assertions are enabled.
+func InvariantChecks() bool { return invariantChecks.Load() }

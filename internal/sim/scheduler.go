@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -136,6 +137,11 @@ func (s *Scheduler) Step() bool {
 		if ev.state != evScheduled {
 			s.release(ev)
 			continue
+		}
+		if invariantChecks.Load() && ev.at < s.now {
+			panic(fmt.Sprintf(
+				"sim: time went backwards: event seq=%d at=%v fired at now=%v (heap=%d live=%d fired=%d)",
+				ev.seq, ev.at, s.now, len(s.heap), s.live, s.fired))
 		}
 		s.now = ev.at
 		s.fired++

@@ -582,11 +582,23 @@ func (c *Conn) onDuplicateAck(pkt *netsim.Packet) {
 	if pkt.Ack != c.sndUna || c.sndNxt == c.sndUna {
 		return // stale ACK or nothing in flight
 	}
+	if c.cfg.SACK {
+		before := c.sackedBytes()
+		c.mergeSack(pkt.Sack)
+		if c.sackedBytes() == before && before == 0 {
+			// A duplicate ACK carrying no SACK information while the
+			// scoreboard is empty is a byte-identical copy — network
+			// duplication of the ACK, or the receiver's echo of a
+			// duplicated data segment — and signals nothing about loss;
+			// counting it would fire spurious fast retransmits under
+			// fault injection. Once the scoreboard holds data a recovery
+			// is in progress, and no-new-info duplicates keep counting as
+			// RFC 5681 loss signals.
+			return
+		}
+	}
 	c.dupAcks++
 	c.observe(EventDupAck, 0, pkt.Ack)
-	if c.cfg.SACK {
-		c.mergeSack(pkt.Sack)
-	}
 	c.cc.OnDupAck()
 	switch {
 	case !c.inRecovery && c.dupAcks == dupAckThreshold:
@@ -828,7 +840,12 @@ func (c *Conn) onRTO() {
 	c.inRecovery = false
 	c.dupAcks = 0
 	c.bonus = 0
-	c.backoff++
+	// Exponential back-off, saturating at the shift that already pins
+	// rto() to MaxRTO: a long blackout must not wind the counter past the
+	// cap it would have to unwind from.
+	if c.backoff < maxBackoffShift {
+		c.backoff++
+	}
 	// Go-back-N: everything past the cumulative ACK is presumed lost.
 	// With SACK the scoreboard survives the timeout so the resend sweep
 	// skips data the receiver already holds.
