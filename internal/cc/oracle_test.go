@@ -1,0 +1,246 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/tcp"
+)
+
+// Naive-transcription oracles for the comparison policies, in the same
+// spirit as internal/conformance: each model re-derives the published
+// update rule independently of the implementation under test and is run
+// in lockstep over randomized ACK streams, compared exactly. A drive-by
+// edit that changes the estimator gain, the once-per-window gating, or
+// the weight band fails here with the step at which the trajectories
+// part.
+
+// naiveDCTCP transcribes Alizadeh et al. (SIGCOMM'10 §3.3): per window
+// of data, α ← (1−g)·α + g·F with g = 1/16, and — only if any ACK in
+// the window echoed CE — a single cut w ← w·(1−α/2). Growth is plain
+// Reno; real loss is untouched.
+type naiveDCTCP struct {
+	gain           float64
+	alpha          float64
+	cwnd, ssthresh float64
+	acked, marked  int
+	windowEnd      int64
+	ce             bool
+	mss            int
+}
+
+func (n *naiveDCTCP) setCwnd(w float64) {
+	// fakeCtl's clamp, replicated so the replicas share arithmetic.
+	if w < 2 {
+		w = 2
+	}
+	if w > 1<<30 {
+		w = 1 << 30
+	}
+	n.cwnd = w
+}
+
+func (n *naiveDCTCP) onAck(ev tcp.AckEvent) {
+	if !ev.InRecovery {
+		if n.cwnd < n.ssthresh {
+			n.setCwnd(n.cwnd + float64(ev.AckedSegs))
+		} else {
+			n.setCwnd(n.cwnd + float64(ev.AckedSegs)/n.cwnd)
+		}
+	}
+	n.acked += ev.AckedSegs
+	if ev.ECE {
+		n.marked += ev.AckedSegs
+		n.ce = true
+	}
+	if ev.Ack < n.windowEnd {
+		return
+	}
+	if n.acked > 0 {
+		f := float64(n.marked) / float64(n.acked)
+		n.alpha = (1-n.gain)*n.alpha + n.gain*f
+	}
+	if n.ce {
+		cut := n.cwnd * (1 - n.alpha/2)
+		n.setCwnd(cut)
+		n.ssthresh = cut
+	}
+	n.acked, n.marked, n.ce = 0, 0, false
+	n.windowEnd = ev.Ack + int64(n.cwnd*float64(n.mss))
+}
+
+func TestDCTCPMatchesNaiveTranscription(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ctl := newFakeCtl()
+		ctl.ssthresh = float64(rng.Intn(40) + 2) // mix slow start and CA
+		d := NewDCTCP()
+		d.Attach(ctl)
+
+		n := &naiveDCTCP{
+			gain:     DefaultDCTCPGain,
+			cwnd:     ctl.cwnd,
+			ssthresh: ctl.ssthresh,
+			mss:      1500 - netsim.HeaderSize,
+		}
+		mss := int64(n.mss)
+		var ack int64
+		for i := 0; i < 500; i++ {
+			segs := rng.Intn(4) + 1
+			ece := rng.Float64() < 0.3
+			ack += int64(segs) * mss
+			ev := tcp.AckEvent{Ack: ack, AckedBytes: int64(segs) * mss, AckedSegs: segs, ECE: ece}
+			d.OnAck(ev)
+			n.onAck(ev)
+			if n.cwnd != ctl.cwnd || n.alpha != d.Alpha() {
+				t.Fatalf("seed %d step %d: live (cwnd=%v α=%v) != naive (cwnd=%v α=%v)",
+					seed, i, ctl.cwnd, d.Alpha(), n.cwnd, n.alpha)
+			}
+		}
+	}
+}
+
+func TestDCTCPAlphaStaysInUnitInterval(t *testing.T) {
+	// α is an EWMA of fractions in [0,1]; no mark pattern may push it
+	// outside the unit interval.
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ctl := newFakeCtl()
+		d := NewDCTCP()
+		d.Attach(ctl)
+		var ack int64
+		for i := 0; i < 1000; i++ {
+			segs := rng.Intn(8) + 1
+			ack += int64(segs) * 1460
+			d.OnAck(ackSegs(segs, rng.Intn(2) == 0, ack))
+			if a := d.Alpha(); a < 0 || a > 1 {
+				t.Fatalf("seed %d step %d: alpha = %v outside [0,1]", seed, i, a)
+			}
+		}
+	}
+}
+
+// naiveL2DCTWeight transcribes the documented weight rule: the paper's
+// band [WMin, WMax] with the repo's log-linear decay between 100 KiB
+// and 10 MiB of attained service (DESIGN.md).
+func naiveL2DCTWeight(sentBytes int64) float64 {
+	const small, large = 100 << 10, 10 << 20
+	if sentBytes <= small {
+		return L2DCTWMax
+	}
+	if sentBytes >= large {
+		return L2DCTWMin
+	}
+	frac := math.Log(float64(sentBytes)/float64(small)) / math.Log(float64(large)/float64(small))
+	return L2DCTWMax - frac*(L2DCTWMax-L2DCTWMin)
+}
+
+// naiveL2DCT layers the weight rule over the DCTCP estimator: growth
+// +w_c per RTT in congestion avoidance, back-off ×(1 − α·b/2) with the
+// penalty b sliding from WMin/WMax (freshest flow) to 1 (longest).
+type naiveL2DCT struct {
+	naiveDCTCP
+	sentBytes int64
+}
+
+func (n *naiveL2DCT) onSent(ev tcp.SendEvent) {
+	if !ev.Retransmit {
+		n.sentBytes += ev.EndSeq - ev.Seq
+	}
+}
+
+func (n *naiveL2DCT) onAck(ev tcp.AckEvent) {
+	w := naiveL2DCTWeight(n.sentBytes)
+	if !ev.InRecovery {
+		if n.cwnd < n.ssthresh {
+			n.setCwnd(n.cwnd + float64(ev.AckedSegs))
+		} else {
+			n.setCwnd(n.cwnd + w*float64(ev.AckedSegs)/n.cwnd)
+		}
+	}
+	n.acked += ev.AckedSegs
+	if ev.ECE {
+		n.marked += ev.AckedSegs
+		n.ce = true
+	}
+	if ev.Ack < n.windowEnd {
+		return
+	}
+	if n.acked > 0 {
+		f := float64(n.marked) / float64(n.acked)
+		n.alpha = (1-n.gain)*n.alpha + n.gain*f
+	}
+	if n.ce {
+		b := 1 - (w-L2DCTWMin)/(L2DCTWMax-L2DCTWMin)*(1-L2DCTWMin/L2DCTWMax)
+		cut := n.cwnd * (1 - n.alpha*b/2)
+		n.setCwnd(cut)
+		n.ssthresh = cut
+	}
+	n.acked, n.marked, n.ce = 0, 0, false
+	n.windowEnd = ev.Ack + int64(n.cwnd*float64(n.mss))
+}
+
+func TestL2DCTMatchesNaiveTranscription(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ctl := newFakeCtl()
+		ctl.ssthresh = float64(rng.Intn(40) + 2)
+		l := NewL2DCT()
+		l.Attach(ctl)
+
+		n := &naiveL2DCT{naiveDCTCP: naiveDCTCP{
+			gain:     DefaultDCTCPGain,
+			cwnd:     ctl.cwnd,
+			ssthresh: ctl.ssthresh,
+			mss:      1500 - netsim.HeaderSize,
+		}}
+		mss := int64(n.mss)
+		var ack, sent int64
+		for i := 0; i < 500; i++ {
+			segs := rng.Intn(4) + 1
+			// Attained service advances before the ACK, crossing the
+			// weight band's 100 KiB bound early in every run.
+			sendEv := tcp.SendEvent{Seq: sent, EndSeq: sent + int64(segs)*mss}
+			sent += int64(segs) * mss
+			l.OnSent(sendEv)
+			n.onSent(sendEv)
+
+			ece := rng.Float64() < 0.3
+			ack += int64(segs) * mss
+			ev := tcp.AckEvent{Ack: ack, AckedBytes: int64(segs) * mss, AckedSegs: segs, ECE: ece}
+			l.OnAck(ev)
+			n.onAck(ev)
+			if n.cwnd != ctl.cwnd || n.alpha != l.Alpha() {
+				t.Fatalf("seed %d step %d (service=%d): live (cwnd=%v α=%v w=%v) != naive (cwnd=%v α=%v w=%v)",
+					seed, i, sent, ctl.cwnd, l.Alpha(), l.Weight(), n.cwnd, n.alpha, naiveL2DCTWeight(n.sentBytes))
+			}
+		}
+	}
+}
+
+func TestL2DCTWeightStaysInPublishedBand(t *testing.T) {
+	// The INFOCOM'13 band [0.125, 2.5] must hold at every service level,
+	// and the weight must never increase as service accumulates.
+	l := NewL2DCT()
+	l.Attach(newFakeCtl())
+	prev := l.Weight()
+	if prev != L2DCTWMax {
+		t.Fatalf("fresh-flow weight = %v, want WMax = %v", prev, L2DCTWMax)
+	}
+	for sent := int64(0); sent < 20<<20; sent += 64 << 10 {
+		l.OnSent(tcp.SendEvent{Seq: sent, EndSeq: sent + 64<<10})
+		w := l.Weight()
+		if w < L2DCTWMin || w > L2DCTWMax {
+			t.Fatalf("weight = %v outside [%v, %v] at %d bytes", w, L2DCTWMin, L2DCTWMax, sent)
+		}
+		if w > prev {
+			t.Fatalf("weight increased %v → %v at %d bytes", prev, w, sent)
+		}
+		prev = w
+	}
+	if prev != L2DCTWMin {
+		t.Errorf("long-flow weight = %v, want WMin = %v", prev, L2DCTWMin)
+	}
+}

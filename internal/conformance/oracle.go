@@ -1,0 +1,478 @@
+// Package conformance checks the live TCP-TRIM policy against the
+// paper's pseudocode. It holds a deliberately naive reference
+// implementation (Oracle) of Algorithm 1 (conditional window
+// inheritance), Algorithm 2 (delay-based gentle decrease), Eq. 1 (the
+// tuned inherited window) and Eq. 22 (the K guideline), transcribed
+// line-by-line from PAPER.md, plus a shadow executor (Shadow) that
+// replays every congestion-control hook through both core.Trim and the
+// Oracle in lockstep and records any divergence.
+//
+// The Oracle is intentionally NOT shared code with internal/core: it is
+// a second, independent transcription, kept as close to the paper's
+// prose as Go allows, so that a bug in the live policy cannot hide by
+// being "consistent with itself". Intentional deviations from the
+// paper's literal pseudocode are mirrored here, each marked with a
+// "Deviation" comment naming its core.Config knob and the DESIGN.md §7
+// entry that declares it — everything else diverging is a bug.
+package conformance
+
+import (
+	"math"
+	"time"
+
+	"tcptrim/internal/core"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+// probeWindow is Algorithm 1's probe window: "saves the accumulated
+// window s_cwnd, shrinks cwnd to 2, sends the two packets as probes".
+const probeWindow = 2
+
+// maxCwndSegs mirrors the connection's hard window ceiling so the
+// Oracle's clamp arithmetic matches the live sender's SetCwnd exactly.
+const maxCwndSegs = 1 << 30
+
+// Snapshot is the pre-hook view of the live connection's observable
+// state. The Shadow fills one from the real tcp.Control before every
+// hook so the Oracle's arithmetic always starts from the exact values
+// the live policy saw.
+type Snapshot struct {
+	Now            sim.Time
+	Cwnd           float64
+	Ssthresh       float64
+	MinCwnd        float64
+	FlightSegs     int
+	Gap            time.Duration
+	HasSent        bool
+	LinkRate       netsim.Bitrate
+	WirePacketSize int
+}
+
+// Calls is the control-plane effect of one hook: every call the policy
+// is expected to make on its tcp.Control during that hook, in order.
+// TRIM only ever writes these (it never reads suspension or grant
+// state back), so comparing call logs is exactly the Suspend/Resume
+// pairing and AllowBeyondWindow grant-and-revoke check.
+type Calls struct {
+	Suspends int
+	Resumes  int
+	// Grants lists the AllowBeyondWindow arguments issued, in order.
+	Grants []int
+	// Deadlines lists the durations of probe deadlines armed, in order.
+	Deadlines []time.Duration
+	// CwndSets / SsthreshSets list the raw (pre-clamp) arguments of
+	// every SetCwnd / SetSsthresh the policy issued, in order. Comparing
+	// the write sequence — rather than absolute post-hook window state —
+	// keeps the check exact even when a hook re-enters the sender
+	// (Resume → trySend → nested BeforeSend/OnSent).
+	CwndSets     []float64
+	SsthreshSets []float64
+}
+
+func (c *Calls) reset() {
+	c.Suspends, c.Resumes = 0, 0
+	c.Grants = c.Grants[:0]
+	c.Deadlines = c.Deadlines[:0]
+	c.CwndSets = c.CwndSets[:0]
+	c.SsthreshSets = c.SsthreshSets[:0]
+}
+
+// clone deep-copies the call log so an expectation captured before the
+// live hook runs survives the oracle's next BeginHook reset.
+func (c Calls) clone() Calls {
+	c.Grants = append([]int(nil), c.Grants...)
+	c.Deadlines = append([]time.Duration(nil), c.Deadlines...)
+	c.CwndSets = append([]float64(nil), c.CwndSets...)
+	c.SsthreshSets = append([]float64(nil), c.SsthreshSets...)
+	return c
+}
+
+// Oracle is the naive reference policy. Feed it the same hook sequence
+// as the live core.Trim (via BeginHook + the hook methods) and it
+// produces, per hook, the expected post-hook cwnd/ssthresh and control
+// calls, plus the paper-visible internal state (smoothed RTT, minimum
+// RTT, K, probe accounting) for comparison.
+type Oracle struct {
+	cfg core.Config
+
+	// S is the pre-hook snapshot; Cwnd/Ssthresh are mutated by the hook
+	// transitions into the expected post-hook values.
+	S Snapshot
+	// C collects the control calls the current hook is expected to make.
+	C Calls
+
+	// Algorithm 2 lines 2-6: the RTT estimators and the threshold K.
+	SmoothRTT time.Duration
+	MinRTT    time.Duration
+	K         time.Duration
+
+	// Algorithm 1 probe-exchange state.
+	Probing       bool
+	SavedCwnd     float64 // s_cwnd of Algorithm 1 line 3
+	ProbeEnds     []int64 // end sequence of each in-flight probe
+	ProbeRTTs     []time.Duration
+	ProbesSent    int
+	DeadlineArmed bool
+	LastResume    sim.Time
+	EverResumed   bool
+
+	// Counters mirrored against the live policy's accessors.
+	ProbeRounds     int
+	ProbeTimeouts   int
+	QueueReductions int
+
+	// Algorithm 2's once-per-sRTT decrease cadence (declared deviation).
+	LastDecrease  sim.Time
+	EverDecreased bool
+}
+
+// NewOracle builds the reference policy for the given TRIM
+// configuration. The config is resolved through core.Config.WithDefaults
+// so the Oracle sees exactly the effective knobs the live policy runs
+// with (Alpha, ProbeDeadlineFactor, FallbackKFactor, ...).
+func NewOracle(cfg core.Config) *Oracle {
+	return &Oracle{cfg: cfg.WithDefaults()}
+}
+
+// BeginHook installs the pre-hook snapshot and clears the expected call
+// log. Call it immediately before each hook method.
+func (o *Oracle) BeginHook(s Snapshot) {
+	o.S = s
+	o.C.reset()
+}
+
+// setCwnd records the expected SetCwnd argument and applies the
+// sender's window clamp (cwnd ∈ [minCwnd, 2^30]), replicated so the
+// tracked value matches Conn.SetCwnd bit-for-bit.
+func (o *Oracle) setCwnd(w float64) {
+	o.C.CwndSets = append(o.C.CwndSets, w)
+	if w < o.S.MinCwnd {
+		w = o.S.MinCwnd
+	}
+	if w > maxCwndSegs {
+		w = maxCwndSegs
+	}
+	o.S.Cwnd = w
+}
+
+// setSsthresh records the expected SetSsthresh argument and applies the
+// sender's ssthresh clamp (≥ minCwnd).
+func (o *Oracle) setSsthresh(w float64) {
+	o.C.SsthreshSets = append(o.C.SsthreshSets, w)
+	if w < o.S.MinCwnd {
+		w = o.S.MinCwnd
+	}
+	o.S.Ssthresh = w
+}
+
+// Attach is the policy's attach-time transition: with a configured
+// queue-free RTT D, K is a topology constant and is computed before any
+// RTT sample arrives.
+func (o *Oracle) Attach() {
+	if o.cfg.BaseRTT > 0 {
+		o.updateK()
+	}
+}
+
+// BeforeSend transcribes Algorithm 1 lines 1-5: before sending a new
+// (non-retransmission) packet, if the idle time since the last send
+// exceeds the smoothed RTT, save the accumulated window, shrink to the
+// probe window, and send the next packets as probes.
+func (o *Oracle) BeforeSend() {
+	// Ablation knob: probing disabled means Algorithm 1 never runs.
+	if o.cfg.DisableProbing {
+		return
+	}
+	// A probe exchange is already in flight, or no RTT estimate exists
+	// yet (the very first train has nothing to inherit).
+	if o.Probing || o.SmoothRTT == 0 {
+		return
+	}
+	if !o.S.HasSent {
+		return // nothing ever sent: no inter-train gap to measure
+	}
+	gap := o.S.Gap
+	// Deviation [probe-pause-not-idle-gap], DESIGN.md §7: the pause
+	// while waiting out our own probe exchange is not application idle
+	// time, so the gap is measured from the later of the last send and
+	// the last probe resolution.
+	if o.EverResumed {
+		if since := o.S.Now.Sub(o.LastResume); since < gap {
+			gap = since
+		}
+	}
+	// Algorithm 1 line 2: "if now − last_send > smooth_RTT".
+	if gap <= o.SmoothRTT {
+		return
+	}
+	// Line 3: s_cwnd ← cwnd.
+	o.Probing = true
+	o.ProbeRounds++
+	o.SavedCwnd = o.S.Cwnd
+	o.ProbeEnds = o.ProbeEnds[:0]
+	o.ProbeRTTs = o.ProbeRTTs[:0]
+	o.ProbesSent = 0
+	// Line 4: cwnd ← 2.
+	o.setCwnd(probeWindow)
+	// Deviation [beyond-window-probe-grant], DESIGN.md §7: stale flight
+	// from a stalled previous train must not dead-lock the exchange, so
+	// the two probes are granted passage beyond the shrunken window.
+	o.C.Grants = append(o.C.Grants, probeWindow)
+}
+
+// OnSent transcribes Algorithm 1 lines 5-6: the next two new-data
+// packets go out tagged as probes; after the second, transmission is
+// suspended and the probe deadline is armed. Returns whether the packet
+// is expected to carry the probe tag.
+func (o *Oracle) OnSent(ev tcp.SendEvent) bool {
+	if !o.Probing || ev.Retransmit || o.ProbesSent >= probeWindow {
+		return false
+	}
+	o.ProbesSent++
+	o.ProbeEnds = append(o.ProbeEnds, ev.EndSeq)
+	if o.ProbesSent == 1 {
+		// Deviation [deadline-at-first-probe], DESIGN.md §7: the
+		// deadline is armed when the first probe departs (not at
+		// suspension) so a one-segment train — which can only ever emit
+		// one probe and therefore never suspends — still times out
+		// instead of dead-locking until the RTO.
+		o.armDeadline()
+	}
+	if o.ProbesSent == probeWindow {
+		// Algorithm 1 line 6: suspend transmission until the probe ACKs
+		// return or the deadline expires.
+		o.C.Suspends++
+	}
+	return true
+}
+
+// armDeadline computes the probe-ACK deadline of Algorithm 2 line 11:
+// "wait a smoothed RTT", scaled by the declared ProbeDeadlineFactor
+// deviation knob (DESIGN.md §7; 1 is the paper-literal value).
+func (o *Oracle) armDeadline() {
+	d := time.Duration(o.cfg.ProbeDeadlineFactor * float64(o.SmoothRTT))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	o.DeadlineArmed = true
+	o.C.Deadlines = append(o.C.Deadlines, d)
+}
+
+// OnProbeDeadline transcribes Algorithm 2 line 12: the probe ACKs did
+// not return within the deadline, so the congestion state is assumed to
+// have changed drastically — resume with the legacy minimum window.
+func (o *Oracle) OnProbeDeadline() {
+	if !o.Probing {
+		return
+	}
+	o.ProbeTimeouts++
+	o.endProbe()
+	o.setCwnd(probeWindow)
+	o.C.Resumes++
+}
+
+// endProbe closes the exchange bookkeeping shared by every exit path
+// (both ACKs in, deadline expired, or retransmission timeout).
+func (o *Oracle) endProbe() {
+	o.Probing = false
+	o.LastResume = o.S.Now
+	o.EverResumed = true
+	o.DeadlineArmed = false
+	// Deviation [beyond-window-probe-grant], DESIGN.md §7: the unused
+	// remainder of the probes' beyond-window allowance is revoked.
+	o.C.Grants = append(o.C.Grants, 0)
+}
+
+// OnAck transcribes Algorithm 2: every ACK updates the RTT estimators;
+// probe ACKs resolve the inheritance decision (Eq. 1); all other ACKs
+// grow the window by the legacy rules and then apply the delay-based
+// decrease when RTT ≥ K.
+func (o *Oracle) OnAck(ev tcp.AckEvent) {
+	// Algorithm 2 lines 2-6.
+	if ev.RTT > 0 {
+		o.observeRTT(ev.RTT)
+	}
+	if o.Probing {
+		o.onProbeAck(ev)
+		return
+	}
+	// Legacy growth (paper: "the standard TCP window adjustment rides
+	// underneath TRIM's regulation") — Reno slow start / congestion
+	// avoidance, frozen during fast recovery.
+	o.growReno(ev)
+	if o.cfg.DisableQueueControl || ev.RTT <= 0 {
+		return
+	}
+	o.queueControl(ev.RTT)
+}
+
+// growReno is the naive transcription of the legacy window growth the
+// live policy delegates to tcp.GrowReno.
+func (o *Oracle) growReno(ev tcp.AckEvent) {
+	if ev.InRecovery {
+		return
+	}
+	if o.S.Cwnd < o.S.Ssthresh {
+		o.setCwnd(o.S.Cwnd + float64(ev.AckedSegs)) // slow start
+		return
+	}
+	o.setCwnd(o.S.Cwnd + float64(ev.AckedSegs)/o.S.Cwnd) // avoidance
+}
+
+// onProbeAck transcribes Algorithm 1 lines 7-9 and Eq. 1: collect the
+// probe RTT samples; when the cumulative ACK covers every probe sent,
+// tune the inherited window and resume.
+func (o *Oracle) onProbeAck(ev tcp.AckEvent) {
+	matched := false
+	for len(o.ProbeEnds) > 0 && o.ProbeEnds[0] <= ev.Ack {
+		o.ProbeEnds = o.ProbeEnds[1:]
+		matched = true
+	}
+	if matched && ev.RTT > 0 {
+		o.ProbeRTTs = append(o.ProbeRTTs, ev.RTT)
+	}
+	if o.ProbesSent == 0 || len(o.ProbeEnds) > 0 {
+		return // an old-train ACK, or one probe still unacknowledged
+	}
+	o.endProbe()
+	w := o.tunedWindow()
+	// Algorithm 1 line 8 / Eq. 1: resume with the tuned window.
+	o.setCwnd(w)
+	// Deviation [ssthresh-on-resolve], DESIGN.md §7: the tuned window
+	// already reflects the probed congestion state, so slow start must
+	// not double from it (RFC 2861 spirit).
+	o.setSsthresh(w)
+	o.C.Resumes++
+}
+
+// tunedWindow transcribes Eq. 1:
+//
+//	cwnd = s_cwnd × (1 − (probeRTT − minRTT)/minRTT)
+//
+// floored at the legacy minimum window when the probe RTT indicates the
+// congestion state changed drastically (Section III.C), and never above
+// the saved window. probeRTT is the average of the probe samples.
+func (o *Oracle) tunedWindow() float64 {
+	minW := o.S.MinCwnd
+	base := o.baseRTT()
+	if len(o.ProbeRTTs) == 0 || base <= 0 {
+		return minW
+	}
+	var sum time.Duration
+	for _, r := range o.ProbeRTTs {
+		sum += r
+	}
+	probeRTT := sum / time.Duration(len(o.ProbeRTTs))
+	factor := 1 - float64(probeRTT-base)/float64(base)
+	w := o.SavedCwnd * factor
+	if w < minW {
+		return minW
+	}
+	if w > o.SavedCwnd {
+		w = o.SavedCwnd
+	}
+	return w
+}
+
+// queueControl transcribes Algorithm 2 lines 13-16 and Eq. 2-3: when
+// the measured RTT reaches the threshold K, the congestion level is
+// ep = (RTT − K)/RTT and the window shrinks by half that fraction.
+func (o *Oracle) queueControl(rtt time.Duration) {
+	if o.K <= 0 || rtt < o.K {
+		return
+	}
+	// Deviation [once-per-srtt-decrease], DESIGN.md §7: at most one
+	// decrease per smoothed RTT, so a single standing queue is not
+	// charged once per ACK of the same flight.
+	if o.EverDecreased && o.S.Now.Sub(o.LastDecrease) < o.SmoothRTT {
+		return
+	}
+	ep := float64(rtt-o.K) / float64(rtt)
+	o.setCwnd(o.S.Cwnd * (1 - ep/2))
+	// Deviation [ssthresh-on-cut], DESIGN.md §7: a delay-triggered cut
+	// is a congestion signal, so slow start ends at the cut window.
+	o.setSsthresh(o.S.Cwnd)
+	o.LastDecrease = o.S.Now
+	o.EverDecreased = true
+	o.QueueReductions++
+}
+
+// OnTimeout transcribes the paper's implicit RTO interaction: the probe
+// packets are being retransmitted by the legacy machinery, so the
+// exchange is abandoned and transmission resumes.
+func (o *Oracle) OnTimeout() {
+	if o.Probing {
+		o.endProbe()
+	}
+	o.C.Resumes++
+}
+
+// SsthreshAfterLoss is the legacy Reno back-off target the paper keeps
+// for packet loss: max(flight/2, minimum window).
+func (o *Oracle) SsthreshAfterLoss() float64 {
+	half := float64(o.S.FlightSegs) / 2
+	if half < o.S.MinCwnd {
+		return o.S.MinCwnd
+	}
+	return half
+}
+
+// observeRTT transcribes Algorithm 2 lines 2-6: the smoothed RTT is an
+// EWMA with gain α, and the minimum RTT (the queue-free latency D)
+// only ever decreases, recomputing K when it does.
+func (o *Oracle) observeRTT(rtt time.Duration) {
+	if o.SmoothRTT == 0 {
+		o.SmoothRTT = rtt
+	} else {
+		a := o.cfg.Alpha
+		o.SmoothRTT = time.Duration((1-a)*float64(o.SmoothRTT) + a*float64(rtt))
+	}
+	if o.MinRTT == 0 || rtt < o.MinRTT {
+		o.MinRTT = rtt
+		o.updateK()
+	}
+}
+
+// baseRTT is the queue-free RTT estimate D: the configured topology
+// constant when provided (DESIGN.md §7 [configured-base-rtt]), else the
+// measured minimum.
+func (o *Oracle) baseRTT() time.Duration {
+	if o.cfg.BaseRTT > 0 {
+		return o.cfg.BaseRTT
+	}
+	return o.MinRTT
+}
+
+// updateK recomputes the delay threshold: a fixed configured K wins;
+// otherwise Eq. 22 from the link capacity, falling back to
+// FallbackKFactor × D when no link rate is known.
+func (o *Oracle) updateK() {
+	if o.cfg.K > 0 {
+		o.K = o.cfg.K
+		return
+	}
+	base := o.baseRTT()
+	rate := o.S.LinkRate
+	if rate <= 0 {
+		o.K = time.Duration(o.cfg.FallbackKFactor * float64(base))
+		return
+	}
+	o.K = eq22K(rate.PacketsPerSecond(o.S.WirePacketSize), base)
+}
+
+// eq22K transcribes Eq. 22: K ≥ max((√(2CD) − 1)²/C, D), with C the
+// bottleneck capacity in packets per second and D the queue-free RTT.
+func eq22K(c float64, d time.Duration) time.Duration {
+	if c <= 0 || d <= 0 {
+		return d
+	}
+	dSec := d.Seconds()
+	root := math.Sqrt(2*c*dSec) - 1
+	k := time.Duration(root * root / c * float64(time.Second))
+	if k < d {
+		k = d // the K ≥ D floor must hold exactly in Duration space
+	}
+	return k
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
 	"tcptrim/internal/tcp"
 )
 
@@ -164,5 +165,53 @@ func TestProbeDeadlineRevokesAllowance(t *testing.T) {
 	}
 	if tr.ProbeTimeouts() != 1 {
 		t.Errorf("ProbeTimeouts = %d", tr.ProbeTimeouts())
+	}
+}
+
+func TestProbeDeadlineFactorScalesDeadline(t *testing.T) {
+	// The deadline must fire exactly at factor × smoothed RTT: one tick
+	// before it the exchange is still pending, at it the exchange has
+	// timed out.
+	for _, tc := range []struct {
+		factor float64
+		fireAt time.Duration
+	}{
+		{0, 200 * time.Microsecond}, // zero resolves to the default 2×
+		{1, 100 * time.Microsecond}, // paper-literal Algorithm 2 line 11
+		{3, 300 * time.Microsecond},
+	} {
+		ctl := newFakeCtl()
+		tr := New(Config{ProbeDeadlineFactor: tc.factor})
+		tr.Attach(ctl)
+		seedRTT(tr, 100*time.Microsecond)
+		ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+		tr.BeforeSend()
+		if !tr.Probing() {
+			t.Fatalf("factor %v: probe round did not start", tc.factor)
+		}
+		tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+		ctl.sched.RunUntil(sim.At(tc.fireAt - time.Nanosecond))
+		if !tr.Probing() {
+			t.Fatalf("factor %v: deadline fired before %v", tc.factor, tc.fireAt)
+		}
+		ctl.sched.RunUntil(sim.At(tc.fireAt))
+		if tr.Probing() || tr.ProbeTimeouts() != 1 {
+			t.Errorf("factor %v: deadline did not fire at %v (probing=%v timeouts=%d)",
+				tc.factor, tc.fireAt, tr.Probing(), tr.ProbeTimeouts())
+		}
+	}
+}
+
+func TestWithDefaultsResolvesZeroFields(t *testing.T) {
+	got := Config{}.WithDefaults()
+	if got.Alpha != DefaultAlpha || got.FallbackKFactor != 2 ||
+		got.ProbeDeadlineFactor != DefaultProbeDeadlineFactor {
+		t.Errorf("WithDefaults() = %+v", got)
+	}
+	// Explicit settings survive untouched.
+	cfg := Config{Alpha: 0.5, FallbackKFactor: 3, ProbeDeadlineFactor: 1,
+		K: time.Millisecond, BaseRTT: 2 * time.Millisecond}
+	if got := cfg.WithDefaults(); got != cfg {
+		t.Errorf("WithDefaults() = %+v, want %+v", got, cfg)
 	}
 }

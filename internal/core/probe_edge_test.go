@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+// Probe edge cases surfaced by the conformance oracle model
+// (internal/conformance): exchanges that never reach Suspend, races at
+// the deadline instant, and RTOs preempting the exchange. Each test pins
+// the exact behavior the oracle transcribes, so a future refactor that
+// shifts one of these boundaries fails here before it fails the shadow
+// sweep.
+
+// TestSingleSegmentTrainNeverSuspends: a 1-packet train sends only the
+// first of the two probes, so Suspend — which Algorithm 1 issues after
+// the second probe — must never be called, and the deadline armed at the
+// *first* probe (deviation [deadline-at-first-probe], DESIGN.md §7) must
+// still collect the exchange when the ACK never returns. Arming at
+// suspension instead would leave this half-open exchange dangling until
+// the RTO.
+func TestSingleSegmentTrainNeverSuspends(t *testing.T) {
+	ctl := newFakeCtl()
+	tr := New(Config{})
+	tr.Attach(ctl)
+	seedRTT(tr, 200*time.Microsecond)
+	ctl.cwnd = 50
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	tr.BeforeSend()
+	if !tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460}) {
+		t.Fatal("single packet should be tagged as a probe")
+	}
+	if ctl.susp {
+		t.Fatal("Suspend called with only one probe sent")
+	}
+	if !tr.Probing() {
+		t.Fatal("exchange not open after the first probe")
+	}
+
+	// The probe ACK is lost. One tick before the 2×sRTT deadline the
+	// exchange is still open; at the deadline it times out.
+	fireAt := sim.At(2 * 200 * time.Microsecond)
+	ctl.sched.RunUntil(fireAt.Add(-time.Nanosecond))
+	if !tr.Probing() {
+		t.Fatal("exchange closed before the deadline")
+	}
+	ctl.sched.RunUntil(fireAt)
+	if tr.Probing() {
+		t.Fatal("deadline did not collect the one-probe exchange")
+	}
+	if tr.ProbeTimeouts() != 1 {
+		t.Errorf("ProbeTimeouts = %d, want 1", tr.ProbeTimeouts())
+	}
+	if ctl.susp {
+		t.Error("sender suspended after deadline")
+	}
+	if ctl.resumed != 1 {
+		t.Errorf("Resume called %d times, want exactly 1", ctl.resumed)
+	}
+	if ctl.bonus != 0 {
+		t.Errorf("beyond-window grant not revoked: bonus = %d", ctl.bonus)
+	}
+	if ctl.cwnd != 2 {
+		t.Errorf("cwnd = %v, want the conservative floor 2", ctl.cwnd)
+	}
+}
+
+// TestProbeAckExactlyAtDeadlineTick: when both probe ACKs arrive at the
+// exact instant the deadline fires, the timeout wins. The scheduler
+// breaks equal-time ties by insertion order, and the deadline timer was
+// armed when the first probe departed — necessarily before any ACK for
+// it could be scheduled — so the ordering is deterministic, not racy:
+// the exchange resolves as a timeout (cwnd floor, no Eq. 1 tuning) and
+// the simultaneous ACK is then absorbed as a plain post-probe ACK.
+func TestProbeAckExactlyAtDeadlineTick(t *testing.T) {
+	ctl := newFakeCtl()
+	tr := New(Config{})
+	tr.Attach(ctl)
+	seedRTT(tr, 200*time.Microsecond)
+	ctl.cwnd = 50
+	ctl.hasSent, ctl.gap = true, 5*time.Millisecond
+	tr.BeforeSend()
+	tr.OnSent(tcp.SendEvent{Seq: 0, EndSeq: 1460})
+	tr.OnSent(tcp.SendEvent{Seq: 1460, EndSeq: 2920})
+	if !ctl.susp {
+		t.Fatal("not suspended after both probes")
+	}
+
+	// Deadline armed at t=0 for 2×sRTT = 400µs. Deliver both probe ACKs
+	// at exactly that instant.
+	fireAt := sim.At(400 * time.Microsecond)
+	if _, err := ctl.sched.At(fireAt, func() {
+		tr.OnAck(tcp.AckEvent{Ack: 2920, AckedSegs: 2, RTT: 220 * time.Microsecond})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctl.sched.RunUntil(fireAt)
+
+	if tr.ProbeTimeouts() != 1 {
+		t.Fatalf("ProbeTimeouts = %d, want 1 (deadline must win the tie)", tr.ProbeTimeouts())
+	}
+	if tr.Probing() || ctl.susp {
+		t.Fatal("exchange still open after the deadline tick")
+	}
+	// Had the ACK been treated as a probe resolution, Eq. 1 would set
+	// cwnd = 50 × (1 − (220−200)/200) = 45. Instead: timeout floors the
+	// window to 2, then the ACK slow-starts it to 4.
+	if ctl.cwnd != 4 {
+		t.Errorf("cwnd = %v, want 4 (timeout floor + slow-start), not the Eq. 1 window", ctl.cwnd)
+	}
+	if tr.QueueReductions() != 0 {
+		t.Errorf("QueueReductions = %d, want 0 (220µs sample is below K)", tr.QueueReductions())
+	}
+}
+
+// TestRTOPreemptsProbeExchange drives the OnTimeout path
+// (trim.go: endProbe + Resume) from a real retransmission timeout over
+// a live network: both probes of an exchange are lost on a downed link,
+// and with ProbeDeadlineFactor large enough that the probe deadline can
+// never fire before the RTO, the RTO itself must dissolve the exchange,
+// revoke the suspension, and let go-back-N recover the train.
+func TestRTOPreemptsProbeExchange(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.NewNetwork(sched)
+	link := netsim.LinkConfig{
+		Rate:  netsim.Gbps,
+		Delay: 50 * time.Microsecond,
+		Queue: netsim.QueueConfig{CapPackets: 64},
+	}
+	hs := net.AddHost("s")
+	sw := net.AddSwitch("sw")
+	hr := net.AddHost("r")
+	fwd, _ := net.Connect(hs, sw, link)
+	net.Connect(sw, hr, link)
+
+	// Deadline = 500 × sRTT ≈ 110 ms with sRTT ≈ 220 µs: the 10 ms
+	// MinRTO always fires first, even across several backoff doublings.
+	tr := New(Config{ProbeDeadlineFactor: 500})
+	conn, err := tcp.NewConn(tcp.Config{
+		Sender:   tcp.NewStack(net, hs),
+		Receiver: tcp.NewStack(net, hr),
+		Flow:     1,
+		CC:       tr,
+		LinkRate: netsim.Gbps,
+		MinRTO:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up: short trains grow the window and settle sRTT.
+	for i := 0; i < 20; i++ {
+		at := sim.At(time.Duration(i) * time.Millisecond)
+		if _, err := sched.At(at, func() { conn.SendTrain(4*tcp.DefaultMSS, nil) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// After an idle gap the next train opens a probe exchange; the
+	// downed forward link swallows both probes.
+	done := false
+	if _, err := sched.At(sim.At(100*time.Millisecond), func() {
+		fwd.SetLinkDown(true)
+		conn.SendTrain(30*tcp.DefaultMSS, func(tcp.TrainResult) { done = true })
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the first RTO (≈110 ms) the exchange must be in flight.
+	midProbe := false
+	if _, err := sched.At(sim.At(105*time.Millisecond), func() {
+		midProbe = tr.Probing()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the link while retransmissions are still backing off.
+	if _, err := sched.At(sim.At(135*time.Millisecond), func() {
+		fwd.SetLinkDown(false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.At(3 * time.Second))
+
+	if !midProbe {
+		t.Fatal("exchange was not open when the RTO was about to fire")
+	}
+	if conn.Stats().Timeouts == 0 {
+		t.Fatal("no RTO fired — the probe loss was not exercised")
+	}
+	if tr.ProbeTimeouts() != 0 {
+		t.Errorf("ProbeTimeouts = %d, want 0: only the RTO may dissolve the exchange", tr.ProbeTimeouts())
+	}
+	if tr.Probing() {
+		t.Error("probe exchange still open after recovery")
+	}
+	if !done {
+		t.Fatal("train never completed after the link came back")
+	}
+}

@@ -24,6 +24,11 @@ const DefaultAlpha = 0.25
 // period (Algorithm 1 sets cwnd to 2 and sends both packets as probes).
 const probeCount = 2
 
+// DefaultProbeDeadlineFactor is the default probe-deadline scale: 2× the
+// smoothed RTT rather than Algorithm 2's literal 1× (a declared deviation;
+// the rationale is on Config.ProbeDeadlineFactor).
+const DefaultProbeDeadlineFactor = 2
+
 // Config tunes TCP-TRIM. The zero value reproduces the paper's settings.
 type Config struct {
 	// Alpha is the smoothed-RTT gain; 0 means DefaultAlpha.
@@ -43,6 +48,14 @@ type Config struct {
 	// FallbackKFactor sets K = factor × minRTT when no link rate is
 	// configured and K is not fixed; 0 means 2.
 	FallbackKFactor float64
+	// ProbeDeadlineFactor scales the probe-ACK deadline of Algorithm 2
+	// line 11 in units of the smoothed RTT; 0 means
+	// DefaultProbeDeadlineFactor. The paper's literal pseudocode waits
+	// 1× the smoothed RTT, but a 1× deadline races the probe ACKs it is
+	// waiting for (their RTT is at least the smoothed RTT whenever any
+	// queueing exists), so the default is a declared deviation — see
+	// DESIGN.md §7 "Conformance". Set 1 for the paper-literal behavior.
+	ProbeDeadlineFactor float64
 
 	// DisableProbing turns off the inter-train probe mechanism
 	// (ablation: queue control only).
@@ -83,15 +96,25 @@ type Trim struct {
 
 var _ tcp.CongestionControl = (*Trim)(nil)
 
+// WithDefaults returns the configuration with every zero field resolved
+// to its default, exactly as New resolves it. The conformance oracle uses
+// this to mirror the live policy's effective settings.
+func (c Config) WithDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.FallbackKFactor == 0 {
+		c.FallbackKFactor = 2
+	}
+	if c.ProbeDeadlineFactor <= 0 {
+		c.ProbeDeadlineFactor = DefaultProbeDeadlineFactor
+	}
+	return c
+}
+
 // New returns a TCP-TRIM policy with cfg (zero value = paper settings).
 func New(cfg Config) *Trim {
-	if cfg.Alpha == 0 {
-		cfg.Alpha = DefaultAlpha
-	}
-	if cfg.FallbackKFactor == 0 {
-		cfg.FallbackKFactor = 2
-	}
-	return &Trim{cfg: cfg}
+	return &Trim{cfg: cfg.WithDefaults()}
 }
 
 // Name implements tcp.CongestionControl.
@@ -194,11 +217,10 @@ func (t *Trim) OnSent(ev tcp.SendEvent) bool {
 
 func (t *Trim) armProbeDeadline() {
 	t.probeTimer.Stop()
-	// Algorithm 2 waits "a smoothed RTT" for the probe ACKs. A literal
-	// 1× deadline races the ACKs themselves (their RTT is at least the
-	// smoothed RTT whenever any queueing exists), so allow 2× before
-	// declaring the probes lost — still far below any RTO.
-	deadline := 2 * t.smoothRTT
+	// Algorithm 2 waits "a smoothed RTT" for the probe ACKs, scaled by
+	// the ProbeDeadlineFactor deviation knob (default 2× — still far
+	// below any RTO; see Config.ProbeDeadlineFactor).
+	deadline := time.Duration(t.cfg.ProbeDeadlineFactor * float64(t.smoothRTT))
 	if deadline <= 0 {
 		deadline = time.Millisecond
 	}

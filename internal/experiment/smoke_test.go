@@ -29,7 +29,8 @@ func TestSmokeFig1(t *testing.T) {
 
 func TestRunnersRegistered(t *testing.T) {
 	want := []string{
-		"abl-alpha", "abl-buffer", "abl-inherit", "abl-probe", "eq22",
+		"abl-alpha", "abl-buffer", "abl-inherit", "abl-probe",
+		"conformance", "eq22",
 		"ext-deadline", "ext-delay", "ext-jitter", "ext-loss", "ext-scatter",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig13a",
 		"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",

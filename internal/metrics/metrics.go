@@ -106,8 +106,12 @@ func (d *Distribution) Min() float64 { return d.min }
 // Max returns the largest sample (0 when empty).
 func (d *Distribution) Max() float64 { return d.max }
 
-// Percentile returns the p-th percentile (p in [0,100]) using nearest-rank
-// interpolation; 0 when empty.
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation between the two closest order statistics (the
+// "exclusive" variant with rank p/100 × (n−1), as used by numpy's
+// default and Excel's PERCENTILE.INC): p0 is the minimum, p100 the
+// maximum, and p50 of an even-sized sample is the average of the two
+// middle values. Returns 0 when empty.
 func (d *Distribution) Percentile(p float64) float64 {
 	if len(d.samples) == 0 {
 		return 0
@@ -263,27 +267,39 @@ func Sample(sched *sim.Scheduler, start, end sim.Time, interval time.Duration, f
 
 // BinnedRate converts cumulative byte counts sampled over time into a
 // per-bin throughput series in bits per second. fn must return a
-// monotonically nondecreasing cumulative count.
+// monotonically nondecreasing cumulative count. When the window [start,
+// end] is not an exact multiple of bin, the trailing partial bin is
+// still recorded (at end, scaled by its actual width), so no bytes
+// observed inside the window are ever dropped from the series.
 func BinnedRate(sched *sim.Scheduler, start, end sim.Time, bin time.Duration, fn func() int64) *Series {
 	out := &Series{}
 	if bin <= 0 || end < start {
 		return out
 	}
 	var prev int64
+	var prevAt sim.Time
 	first := true
 	var tick func()
 	tick = func() {
 		now := sched.Now()
 		cur := fn()
 		if first {
-			prev, first = cur, false
+			prev, prevAt, first = cur, now, false
 		} else {
 			bits := float64(cur-prev) * 8
-			out.Record(now, bits/bin.Seconds())
-			prev = cur
+			// Full bins have width == bin exactly (the scheduler fires
+			// on integer nanoseconds); only the final partial bin is
+			// scaled by a shorter width.
+			width := now.Sub(prevAt)
+			out.Record(now, bits/width.Seconds())
+			prev, prevAt = cur, now
 		}
 		if next := now.Add(bin); next <= end {
 			sched.After(bin, tick)
+		} else if now < end {
+			// Trailing partial bin: bytes arriving after the last full
+			// bin boundary must still appear in the series.
+			sched.After(end.Sub(now), tick)
 		}
 	}
 	if _, err := sched.At(start, tick); err != nil {

@@ -243,3 +243,112 @@ func TestBinnedRate(t *testing.T) {
 		}
 	}
 }
+
+func TestBinnedRateTrailingPartialBin(t *testing.T) {
+	// Regression: bytes arriving after the last full bin boundary used
+	// to be silently dropped, biasing short-run throughput low. With a
+	// 25 ms window over 10 ms bins, the [20 ms, 25 ms) bytes must appear
+	// as a final partial bin scaled by its 5 ms width.
+	sched := sim.NewScheduler()
+	var bytes int64
+	var feed func()
+	feed = func() {
+		bytes += 1250 // 1250 B/ms = 10 Mbps
+		if sched.Now() < sim.At(24*time.Millisecond) {
+			sched.After(time.Millisecond, feed)
+		}
+	}
+	sched.After(500*time.Microsecond, feed)
+	series := BinnedRate(sched, 0, sim.At(25*time.Millisecond), 10*time.Millisecond,
+		func() int64 { return bytes })
+	sched.Run()
+	pts := series.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3 (two full bins plus the partial)", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.At != sim.At(25*time.Millisecond) {
+		t.Errorf("partial bin recorded at %v, want 25ms", last.At)
+	}
+	// The partial bin holds 5 ms of a 10 Mbps stream.
+	if math.Abs(last.Value-10e6) > 1 {
+		t.Errorf("partial-bin rate = %v, want 10 Mbps", last.Value)
+	}
+	// Mass conservation: Σ rate×width recovers every observed bit.
+	var recovered float64
+	prevAt := sim.At(0)
+	for _, p := range pts {
+		recovered += p.Value * p.At.Sub(prevAt).Seconds()
+		prevAt = p.At
+	}
+	if want := float64(bytes) * 8; math.Abs(recovered-want) > 1 {
+		t.Errorf("recovered %v bits, want %v — bytes dropped from the series", recovered, want)
+	}
+}
+
+func TestBinnedRateExactWindowHasNoExtraPoint(t *testing.T) {
+	// A window that is an exact multiple of the bin must produce the
+	// same series as before the partial-bin fix: no zero-width tick at
+	// the end, identical full-bin values.
+	sched := sim.NewScheduler()
+	var bytes int64
+	var feed func()
+	feed = func() {
+		bytes += 1250
+		if sched.Now() < sim.At(19*time.Millisecond) {
+			sched.After(time.Millisecond, feed)
+		}
+	}
+	sched.After(500*time.Microsecond, feed)
+	series := BinnedRate(sched, 0, sim.At(20*time.Millisecond), 10*time.Millisecond,
+		func() int64 { return bytes })
+	sched.Run()
+	pts := series.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2 (two full bins, no zero-width tail)", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Value-10e6) > 1 {
+			t.Errorf("rate at %v = %v, want 10 Mbps", p.At, p.Value)
+		}
+	}
+}
+
+func TestPercentileInterpolationPinned(t *testing.T) {
+	// Pins the documented behavior: linear interpolation between the
+	// two closest order statistics at rank p/100 × (n−1).
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"p0 is the minimum", []float64{30, 10, 20}, 0, 10},
+		{"p100 is the maximum", []float64{30, 10, 20}, 100, 30},
+		{"p50 odd n is the median", []float64{30, 10, 20}, 50, 20},
+		{"p50 even n averages the middle pair", []float64{40, 10, 30, 20}, 50, 25},
+		{"p25 interpolates", []float64{10, 20, 30, 40}, 25, 17.5},
+		{"p99 of 1..100", seq(1, 100), 99, 99.01},
+		{"p99 of 1..101 lands on a rank", seq(1, 101), 99, 100},
+		{"single sample at any p", []float64{7}, 50, 7},
+		{"clamp below", []float64{1, 2}, -5, 1},
+		{"clamp above", []float64{1, 2}, 200, 2},
+	}
+	for _, tc := range cases {
+		var d Distribution
+		for _, v := range tc.samples {
+			d.Add(v)
+		}
+		if got := d.Percentile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: P%v = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
