@@ -224,6 +224,25 @@ func BenchmarkFig13WebService(b *testing.B) {
 	}
 }
 
+// BenchmarkAQMSweep regenerates the TRIM-vs-AQM interplay sweep at its
+// CI scale (TRIM × four disciplines × lowest concurrency); run
+// cmd/trimsim -run aqmsweep for the full protocol × concurrency cross.
+func BenchmarkAQMSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunAQMSweep(
+			[]experiment.Protocol{experiment.ProtoTRIM},
+			experiment.DefaultAQMDisciplines,
+			experiment.AQMSweepConcurrency[:1],
+			experiment.Options{Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(ms(row.MeanFCT), "TRIM-"+row.Discipline+"-FCT-ms")
+		}
+	}
+}
+
 // BenchmarkEq22KSweep regenerates the Section III.B threshold guideline
 // validation.
 func BenchmarkEq22KSweep(b *testing.B) {

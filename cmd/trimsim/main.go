@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"tcptrim/internal/aqm"
 	"tcptrim/internal/experiment"
 )
 
@@ -34,16 +35,24 @@ func run(args []string) error {
 		seed   = fs.Int64("seed", 1, "random seed")
 		reps   = fs.Int("reps", 0, "repetitions for randomized scenarios (0 = default)")
 		csvDir = fs.String("csv", "", "directory for CSV time-series export (fig4/fig6/fig9/fig10)")
+		aqmSel = fs.String("aqm", "", "switch queue discipline override for fig4/fig6/resilience ("+
+			strings.Join(aqm.Names(), ", ")+"; default: each scenario's drop-tail)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *aqmSel != "" {
+		// Validate up front so a typo fails before any simulation runs.
+		if _, err := aqm.Parse(*aqmSel); err != nil {
+			return err
+		}
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return fmt.Errorf("create csv dir: %w", err)
 		}
 	}
-	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir}
+	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel}
 	switch {
 	case *list:
 		fmt.Println(strings.Join(experiment.IDs(), "\n"))

@@ -1,0 +1,233 @@
+// Package aqm provides pluggable active-queue-management disciplines for
+// the netsim switch queues. The paper's simulations assume one switch
+// model — a drop-tail FIFO with an instantaneous ECN threshold — but the
+// TRIM-vs-AQM interplay question (is end-host delay control redundant,
+// complementary, or harmful when the switch also manages its queue?)
+// needs the queue's admission, marking, and head-drop policy to be
+// swappable. A Discipline makes those three decisions; the queue itself
+// keeps owning storage, byte accounting, and packet lifetime (drops are
+// returned to the network's packet pool by the queue's owner).
+//
+// Four disciplines are provided:
+//
+//   - DropTail: the paper's COTS switch, byte-identical to the historical
+//     hard-coded behavior (tail drop + instantaneous ECN threshold);
+//   - RED/ARED: early random drop/mark from an EWMA of the queue length
+//     (Floyd & Jacobson 1993; adaptive max-probability per Floyd 2001);
+//   - CoDel: sojourn-time target/interval control with head drop
+//     (Nichols & Jacobson, ACM Queue 2012), marking instead of dropping
+//     for ECN-capable packets;
+//   - FavourQueue: parameterless priority for packets of starting flows
+//     (Anelli, Diana & Lochin 2014) — a packet is enqueued ahead of the
+//     backlog when no other packet of its flow is queued.
+//
+// Disciplines are deterministic: any randomness (RED's uniformization
+// draw) comes from a seeded source fixed at construction, so simulations
+// stay reproducible. Hot-path methods must not allocate.
+package aqm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// Pkt is the slice of a packet a discipline may inspect. It deliberately
+// excludes everything else (payload, sequence numbers, ...) so a
+// discipline cannot depend on transport internals.
+type Pkt struct {
+	// Size is the wire size in bytes.
+	Size int
+	// ECT marks an ECN-capable transport; a Mark verdict only has effect
+	// on ECT packets.
+	ECT bool
+	// Flow identifies the packet's transport flow (FavourQueue's
+	// promotion rule is per flow).
+	Flow uint64
+}
+
+// State is the queue occupancy a discipline decides against. For enqueue
+// verdicts it is the occupancy before the arriving packet is added
+// (matching enqueue-time ECN marking); for dequeue verdicts it is the
+// occupancy after the head packet was removed (matching CoDel's
+// remaining-backlog test).
+type State struct {
+	Len   int // packets
+	Bytes int
+}
+
+// EnqueueVerdict is the fate of an arriving packet.
+type EnqueueVerdict struct {
+	// Drop rejects the packet; the caller releases it.
+	Drop bool
+	// Early distinguishes an AQM early drop (probabilistic, RED) from a
+	// capacity tail drop. Only meaningful when Drop is set.
+	Early bool
+	// Mark requests a CE mark. The queue applies it only to ECT packets.
+	Mark bool
+	// Favour enqueues the packet into the priority band, ahead of the
+	// unfavoured backlog but behind earlier favoured packets.
+	Favour bool
+}
+
+// DequeueVerdict is the fate of the packet at the head of the queue.
+type DequeueVerdict struct {
+	// Drop discards the head packet (a CoDel head drop); the queue
+	// releases it and presents the next packet to the discipline.
+	Drop bool
+	// Mark requests a CE mark on the departing packet (CoDel-ECN).
+	Mark bool
+}
+
+// Stats is a snapshot of per-discipline counters. Fields irrelevant to a
+// discipline stay zero.
+type Stats struct {
+	// EarlyDrops counts probabilistic drops decided at enqueue (RED).
+	EarlyDrops int
+	// HeadDrops counts drops decided at dequeue (CoDel).
+	HeadDrops int
+	// Marks counts CE-mark verdicts on ECT packets.
+	Marks int
+	// Favoured counts packets admitted into the priority band
+	// (FavourQueue).
+	Favoured int
+	// AvgQueue is RED's current EWMA queue length in packets.
+	AvgQueue float64
+	// MaxP is RED's current maximum drop probability (adapted by ARED).
+	MaxP float64
+}
+
+// Discipline is one queue's AQM policy. A Discipline instance belongs to
+// exactly one queue: it may carry per-queue state (EWMA, drop-cycle state,
+// per-flow presence) and is never shared.
+type Discipline interface {
+	// Name returns the discipline's configuration-space name (see Parse).
+	Name() string
+	// OnEnqueue decides the fate of an arriving packet; q is the
+	// occupancy before insertion.
+	OnEnqueue(p Pkt, q State, now sim.Time) EnqueueVerdict
+	// OnDequeue decides the fate of the head packet; sojourn is the time
+	// it spent queued and q the occupancy after its removal. When the
+	// verdict drops the packet, the queue calls OnDequeue again for the
+	// next head.
+	OnDequeue(p Pkt, sojourn time.Duration, q State, now sim.Time) DequeueVerdict
+	// OnRemove observes every departure from the queue — delivered,
+	// head-dropped, or drained by a link failure — so per-flow presence
+	// tracking stays exact regardless of how a packet left.
+	OnRemove(p Pkt)
+	// Stats returns a snapshot of the discipline's counters.
+	Stats() Stats
+}
+
+// Limits conveys the owning queue's physical capacities and configured
+// ECN threshold to a discipline at construction (0 = unlimited/off).
+type Limits struct {
+	CapPackets          int
+	CapBytes            int
+	ECNThresholdPackets int
+	ECNThresholdBytes   int
+}
+
+// admits applies the physical-capacity tail check every discipline
+// enforces: a queue never holds more than its buffer.
+func (l Limits) admits(p Pkt, q State) bool {
+	if l.CapPackets > 0 && q.Len >= l.CapPackets {
+		return false
+	}
+	if l.CapBytes > 0 && q.Bytes+p.Size > l.CapBytes {
+		return false
+	}
+	return true
+}
+
+// Kind selects a discipline implementation.
+type Kind int
+
+// The available disciplines. The zero value is DropTail, so a zero
+// Config preserves the historical switch model.
+const (
+	DropTail Kind = iota
+	RED
+	CoDel
+	FavourQueue
+)
+
+// String returns the kind's configuration-space name.
+func (k Kind) String() string {
+	switch k {
+	case DropTail:
+		return "droptail"
+	case RED:
+		return "red"
+	case CoDel:
+		return "codel"
+	case FavourQueue:
+		return "favour"
+	default:
+		return fmt.Sprintf("aqm.Kind(%d)", int(k))
+	}
+}
+
+// Parse maps a configuration-space name to its Kind. Accepted names:
+// droptail, red, ared, codel, favour (plus a few aliases).
+func Parse(name string) (Config, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "droptail", "drop-tail", "fifo":
+		return Config{Kind: DropTail}, nil
+	case "red":
+		return Config{Kind: RED}, nil
+	case "ared":
+		return Config{Kind: RED, RED: REDConfig{Adaptive: true}}, nil
+	case "codel":
+		return Config{Kind: CoDel}, nil
+	case "favour", "favor", "favourqueue", "favorqueue", "fq":
+		return Config{Kind: FavourQueue}, nil
+	default:
+		return Config{}, fmt.Errorf("aqm: unknown discipline %q (known: droptail, red, ared, codel, favour)", name)
+	}
+}
+
+// Names lists the canonical discipline names Parse accepts.
+func Names() []string {
+	return []string{"droptail", "red", "ared", "codel", "favour"}
+}
+
+// Config describes which discipline a queue should build and with what
+// parameters. The zero value is DropTail. Config is a value type so a
+// LinkConfig can be reused across links: every queue builds its own
+// Discipline instance from it and no state is ever shared.
+type Config struct {
+	Kind  Kind
+	RED   REDConfig   // parameters when Kind == RED (zero = defaults)
+	CoDel CoDelConfig // parameters when Kind == CoDel (zero = defaults)
+}
+
+// Build constructs a fresh discipline instance for a queue with the given
+// limits. Out-of-range parameters are normalized to defaults; the only
+// error is an unknown Kind.
+func (c Config) Build(lim Limits) (Discipline, error) {
+	switch c.Kind {
+	case DropTail:
+		return newDropTail(lim), nil
+	case RED:
+		return newRED(c.RED, lim), nil
+	case CoDel:
+		return newCoDel(c.CoDel, lim), nil
+	case FavourQueue:
+		return newFavourQueue(lim), nil
+	default:
+		return nil, fmt.Errorf("aqm: unknown discipline kind %d", int(c.Kind))
+	}
+}
+
+// MustBuild is Build for known-constant configurations (topology
+// construction paths that cannot propagate an error).
+func (c Config) MustBuild(lim Limits) Discipline {
+	d, err := c.Build(lim)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

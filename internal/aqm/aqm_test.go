@@ -1,0 +1,167 @@
+package aqm
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		kind    Kind
+		ared    bool
+		wantErr bool
+	}{
+		{in: "droptail", kind: DropTail},
+		{in: "DropTail", kind: DropTail},
+		{in: "fifo", kind: DropTail},
+		{in: "red", kind: RED},
+		{in: "ared", kind: RED, ared: true},
+		{in: "codel", kind: CoDel},
+		{in: "CoDel", kind: CoDel},
+		{in: "favour", kind: FavourQueue},
+		{in: "favor", kind: FavourQueue},
+		{in: "favourqueue", kind: FavourQueue},
+		{in: "fq", kind: FavourQueue},
+		{in: "", kind: DropTail}, // empty = the scenario default
+		{in: "bogus", wantErr: true},
+		{in: "taildrop", wantErr: true},
+	}
+	for _, c := range cases {
+		cfg, err := Parse(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q): want error, got %+v", c.in, cfg)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if cfg.Kind != c.kind || cfg.RED.Adaptive != c.ared {
+			t.Errorf("Parse(%q) = kind %v adaptive %v, want %v %v",
+				c.in, cfg.Kind, cfg.RED.Adaptive, c.kind, c.ared)
+		}
+	}
+}
+
+func TestConfigBuildNames(t *testing.T) {
+	lim := Limits{CapPackets: 100}
+	cases := []struct {
+		cfg  Config
+		name string
+	}{
+		{Config{}, "droptail"},
+		{Config{Kind: RED}, "red"},
+		{Config{Kind: RED, RED: REDConfig{Adaptive: true}}, "ared"},
+		{Config{Kind: CoDel}, "codel"},
+		{Config{Kind: FavourQueue}, "favour"},
+	}
+	for _, c := range cases {
+		d, err := c.cfg.Build(lim)
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", c.cfg, err)
+		}
+		if d.Name() != c.name {
+			t.Errorf("Build(%+v).Name() = %q, want %q", c.cfg, d.Name(), c.name)
+		}
+	}
+	if _, err := (Config{Kind: Kind(99)}).Build(lim); err == nil {
+		t.Error("Build with invalid kind: want error")
+	}
+}
+
+func TestLimitsAdmits(t *testing.T) {
+	cases := []struct {
+		lim  Limits
+		p    Pkt
+		q    State
+		want bool
+	}{
+		{Limits{CapPackets: 2}, Pkt{Size: 100}, State{Len: 1, Bytes: 100}, true},
+		{Limits{CapPackets: 2}, Pkt{Size: 100}, State{Len: 2, Bytes: 200}, false},
+		{Limits{CapBytes: 300}, Pkt{Size: 100}, State{Len: 2, Bytes: 200}, true},
+		{Limits{CapBytes: 300}, Pkt{Size: 101}, State{Len: 2, Bytes: 200}, false},
+		{Limits{}, Pkt{Size: 100}, State{Len: 1 << 20, Bytes: 1 << 30}, true}, // unlimited
+	}
+	for i, c := range cases {
+		if got := c.lim.admits(c.p, c.q); got != c.want {
+			t.Errorf("case %d: admits(%+v, %+v) = %v, want %v", i, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// TestDropTailMatchesHistoricalSemantics is the satellite's table-driven
+// pin of the extracted behavior: tail drop against the occupancy the
+// arriving packet finds, and instantaneous ECN marking at the threshold,
+// both evaluated pre-insert.
+func TestDropTailMatchesHistoricalSemantics(t *testing.T) {
+	lim := Limits{CapPackets: 4, ECNThresholdPackets: 2}
+	d := newDropTail(lim)
+	cases := []struct {
+		p    Pkt
+		q    State
+		want EnqueueVerdict
+	}{
+		{Pkt{Size: 1500, ECT: true}, State{Len: 0}, EnqueueVerdict{}},
+		{Pkt{Size: 1500, ECT: true}, State{Len: 1, Bytes: 1500}, EnqueueVerdict{}},
+		// Marking threshold compares the pre-insert length.
+		{Pkt{Size: 1500, ECT: true}, State{Len: 2, Bytes: 3000}, EnqueueVerdict{Mark: true}},
+		{Pkt{Size: 1500, ECT: true}, State{Len: 3, Bytes: 4500}, EnqueueVerdict{Mark: true}},
+		// Non-ECT traffic above the threshold is left alone.
+		{Pkt{Size: 1500}, State{Len: 3, Bytes: 4500}, EnqueueVerdict{}},
+		// At capacity: tail drop, never an "early" drop.
+		{Pkt{Size: 1500, ECT: true}, State{Len: 4, Bytes: 6000}, EnqueueVerdict{Drop: true}},
+	}
+	for i, c := range cases {
+		if got := d.OnEnqueue(c.p, c.q, sim.Time(i)); got != c.want {
+			t.Errorf("case %d: OnEnqueue(%+v, %+v) = %+v, want %+v", i, c.p, c.q, got, c.want)
+		}
+	}
+	if marks := d.Stats().Marks; marks != 2 {
+		t.Errorf("Stats().Marks = %d, want 2", marks)
+	}
+	// Byte-threshold marking, as ksweep-style scenarios configure it.
+	db := newDropTail(Limits{CapPackets: 10, ECNThresholdBytes: 3000})
+	if v := db.OnEnqueue(Pkt{Size: 100, ECT: true}, State{Len: 2, Bytes: 2999}, 0); v.Mark {
+		t.Errorf("byte threshold marked below threshold")
+	}
+	if v := db.OnEnqueue(Pkt{Size: 100, ECT: true}, State{Len: 2, Bytes: 3000}, 0); !v.Mark {
+		t.Errorf("byte threshold failed to mark at threshold")
+	}
+}
+
+// TestDisciplineHotPathAllocationFree guards the CI bench budget at unit
+// level: no discipline may allocate in OnEnqueue/OnDequeue/OnRemove
+// steady state. FavourQueue's map writes reuse existing buckets once the
+// flow set is warm, so it is held to the same zero.
+func TestDisciplineHotPathAllocationFree(t *testing.T) {
+	lim := Limits{CapPackets: 100, ECNThresholdPackets: 20}
+	disciplines := []Discipline{
+		newDropTail(lim),
+		newRED(REDConfig{MinTh: 5, MaxTh: 15, Seed: 1}, lim),
+		newCoDel(CoDelConfig{}, lim),
+		newFavourQueue(lim),
+	}
+	for _, d := range disciplines {
+		d := d
+		p := Pkt{Size: 1500, ECT: true, Flow: 7}
+		// Warm up any lazily grown state (FavourQueue's flow map).
+		d.OnEnqueue(p, State{Len: 3, Bytes: 4500}, 0)
+		d.OnRemove(p)
+		var now sim.Time
+		allocs := testing.AllocsPerRun(500, func() {
+			now = now.Add(10 * time.Microsecond)
+			d.OnEnqueue(p, State{Len: 3, Bytes: 4500}, now)
+			d.OnDequeue(p, 200*time.Microsecond, State{Len: 3, Bytes: 4500}, now)
+			d.OnRemove(p)
+			d.Stats()
+		})
+		if allocs != 0 {
+			t.Errorf("%s: hot path allocates %.1f allocs/op, want 0", d.Name(), allocs)
+		}
+	}
+}

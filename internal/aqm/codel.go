@@ -1,0 +1,136 @@
+package aqm
+
+import (
+	"math"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// CoDelConfig parameterizes Controlled Delay (Nichols & Jacobson, ACM
+// Queue 2012). Zero-valued fields take data-center defaults: the
+// published 5 ms / 100 ms target/interval are tuned for WAN RTTs, while
+// the simulated fabrics drain a full 100-packet buffer in ~1.2 ms.
+type CoDelConfig struct {
+	// Target is the acceptable standing sojourn time (default 100 µs).
+	Target time.Duration
+	// Interval is the sliding window in which the target must be met at
+	// least once (default 1 ms, on the order of the worst-case RTT).
+	Interval time.Duration
+	// MTU is the backlog floor: CoDel never drops when at most one MTU of
+	// bytes remains queued (default 1500).
+	MTU int
+	// ECN makes drop verdicts CE-mark ECT packets instead of discarding
+	// them; the control-law state advances identically.
+	ECN bool
+}
+
+func (c CoDelConfig) withDefaults() CoDelConfig {
+	if c.Target <= 0 {
+		c.Target = 100 * time.Microsecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.MTU <= 0 {
+		c.MTU = 1500
+	}
+	return c
+}
+
+// codel implements the reference dequeue state machine. The queue calls
+// OnDequeue for each head packet and re-invokes it on the next head after
+// a Drop verdict, which reproduces the reference implementation's
+// drop-while loop.
+type codel struct {
+	cfg   CoDelConfig
+	lim   Limits
+	stats Stats
+
+	// firstAbove is when the sojourn time, continuously above target,
+	// will have been above it for a full interval (0 = not above).
+	firstAbove sim.Time
+	// dropNext is the instant of the next control-law drop while in the
+	// dropping state.
+	dropNext  sim.Time
+	count     int
+	lastCount int
+	dropping  bool
+}
+
+func newCoDel(cfg CoDelConfig, lim Limits) *codel {
+	return &codel{cfg: cfg.withDefaults(), lim: lim}
+}
+
+func (c *codel) Name() string { return "codel" }
+
+func (c *codel) OnEnqueue(p Pkt, q State, _ sim.Time) EnqueueVerdict {
+	if !c.lim.admits(p, q) {
+		return EnqueueVerdict{Drop: true}
+	}
+	return EnqueueVerdict{}
+}
+
+// okToDrop is the reference should_drop: the sojourn time has been above
+// target for at least one interval and more than an MTU remains queued.
+func (c *codel) okToDrop(sojourn time.Duration, q State, now sim.Time) bool {
+	if sojourn < c.cfg.Target || q.Bytes <= c.cfg.MTU {
+		c.firstAbove = 0
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now.Add(c.cfg.Interval)
+		return false
+	}
+	return now >= c.firstAbove
+}
+
+// controlLaw spaces successive drops by interval/sqrt(count).
+func (c *codel) controlLaw(t sim.Time) sim.Time {
+	return t.Add(time.Duration(float64(c.cfg.Interval) / math.Sqrt(float64(c.count))))
+}
+
+func (c *codel) OnDequeue(p Pkt, sojourn time.Duration, q State, now sim.Time) DequeueVerdict {
+	ok := c.okToDrop(sojourn, q, now)
+	if c.dropping {
+		switch {
+		case !ok:
+			c.dropping = false
+		case now >= c.dropNext:
+			c.count++
+			c.dropNext = c.controlLaw(c.dropNext)
+			return c.dropOrMark(p)
+		}
+		return DequeueVerdict{}
+	}
+	if !ok {
+		return DequeueVerdict{}
+	}
+	// Enter the dropping state. If we were dropping recently, resume at
+	// the last drop rate instead of relearning it from 1 (the reference
+	// implementation's count restoration).
+	c.dropping = true
+	delta := c.count - c.lastCount
+	c.count = 1
+	if delta > 1 && now.Sub(c.dropNext) < 16*c.cfg.Interval {
+		c.count = delta
+	}
+	c.dropNext = c.controlLaw(now)
+	c.lastCount = c.count
+	return c.dropOrMark(p)
+}
+
+// dropOrMark converts a control-law drop into a CE mark for ECT packets
+// when ECN mode is on.
+func (c *codel) dropOrMark(p Pkt) DequeueVerdict {
+	if c.cfg.ECN && p.ECT {
+		c.stats.Marks++
+		return DequeueVerdict{Mark: true}
+	}
+	c.stats.HeadDrops++
+	return DequeueVerdict{Drop: true}
+}
+
+func (c *codel) OnRemove(Pkt) {}
+
+func (c *codel) Stats() Stats { return c.stats }

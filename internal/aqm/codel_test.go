@@ -1,0 +1,226 @@
+package aqm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// naiveCoDel is an independent flat transcription of the CoDel dequeue
+// state machine (target/interval/firstAbove/dropNext/count), written as
+// explicit mode dispatch rather than the live implementation's nested
+// flow. Run in lockstep it guards every refactor of codel.go.
+type naiveCoDel struct {
+	target, interval time.Duration
+	mtu              int
+	ecn              bool
+
+	firstAbove, dropNext sim.Time
+	count, lastCount     int
+	dropping             bool
+}
+
+func newNaiveCoDel(cfg CoDelConfig) *naiveCoDel {
+	cfg = cfg.withDefaults()
+	return &naiveCoDel{target: cfg.Target, interval: cfg.Interval, mtu: cfg.MTU, ecn: cfg.ECN}
+}
+
+// verdict codes for the lockstep comparison.
+const (
+	vPass = iota
+	vDrop
+	vMark
+)
+
+func (n *naiveCoDel) shouldDrop(sojourn time.Duration, backlogBytes int, now sim.Time) bool {
+	// Below target or down to one MTU: reset the above-target clock.
+	if sojourn < n.target || backlogBytes <= n.mtu {
+		n.firstAbove = 0
+		return false
+	}
+	// Above target: arm the clock, then require a full interval above it.
+	if n.firstAbove == 0 {
+		n.firstAbove = now.Add(n.interval)
+		return false
+	}
+	return now >= n.firstAbove
+}
+
+func (n *naiveCoDel) act(ect bool) int {
+	if n.ecn && ect {
+		return vMark
+	}
+	return vDrop
+}
+
+func (n *naiveCoDel) dequeue(sojourn time.Duration, backlogBytes int, ect bool, now sim.Time) int {
+	ok := n.shouldDrop(sojourn, backlogBytes, now)
+	switch {
+	case n.dropping && !ok:
+		n.dropping = false
+		return vPass
+	case n.dropping && now >= n.dropNext:
+		n.count++
+		n.dropNext = n.dropNext.Add(time.Duration(float64(n.interval) / math.Sqrt(float64(n.count))))
+		return n.act(ect)
+	case n.dropping:
+		return vPass
+	case !ok:
+		return vPass
+	default: // enter dropping, with count restoration for recent episodes
+		n.dropping = true
+		if delta := n.count - n.lastCount; delta > 1 && now.Sub(n.dropNext) < 16*n.interval {
+			n.count = delta
+		} else {
+			n.count = 1
+		}
+		n.lastCount = n.count
+		n.dropNext = now.Add(time.Duration(float64(n.interval) / math.Sqrt(float64(n.count))))
+		return n.act(ect)
+	}
+}
+
+// toyPkt is a timestamped packet in the lockstep driver's model queue.
+type toyPkt struct {
+	size int
+	ect  bool
+	enq  sim.Time
+}
+
+// driveCoDel feeds identical arrival/service processes to the live codel
+// (via the same call pattern netsim.Queue uses, re-invoking OnDequeue
+// after a Drop verdict) and to the naive machine, comparing every
+// verdict. The service is deliberately slower than arrivals so sojourn
+// times climb through the target and the dropping state engages.
+func driveCoDel(t *testing.T, cfg CoDelConfig, seed int64, steps int) {
+	t.Helper()
+	live := newCoDel(cfg, Limits{CapPackets: 10000})
+	naive := newNaiveCoDel(cfg)
+	drv := rand.New(rand.NewSource(seed))
+	var q []toyPkt
+	var bytes int
+	now := sim.Time(0)
+	serviced := 0
+	for i := 0; i < steps; i++ {
+		now = now.Add(time.Duration(drv.Intn(120)+1) * time.Microsecond)
+		if drv.Intn(5) < 3 { // arrival (more likely than service)
+			p := toyPkt{size: 1500, ect: drv.Intn(2) == 0, enq: now}
+			q = append(q, p)
+			bytes += p.size
+			continue
+		}
+		// One service opportunity: pop until a packet survives.
+		for len(q) > 0 {
+			head := q[0]
+			q = q[1:]
+			bytes -= head.size
+			sojourn := now.Sub(head.enq)
+			st := State{Len: len(q), Bytes: bytes}
+			v := live.OnDequeue(Pkt{Size: head.size, ECT: head.ect}, sojourn, st, now)
+			got := vPass
+			switch {
+			case v.Drop:
+				got = vDrop
+			case v.Mark:
+				got = vMark
+			}
+			want := naive.dequeue(sojourn, bytes, head.ect, now)
+			if got != want {
+				t.Fatalf("seed %d step %d (sojourn %v, backlog %d): live verdict %d != naive %d",
+					seed, i, sojourn, bytes, got, want)
+			}
+			serviced++
+			if !v.Drop {
+				break // delivered; this service opportunity is used up
+			}
+		}
+	}
+	if serviced == 0 {
+		t.Fatalf("seed %d: driver never serviced a packet", seed)
+	}
+	if live.dropping != naive.dropping || live.count != naive.count ||
+		live.dropNext != naive.dropNext || live.firstAbove != naive.firstAbove {
+		t.Fatalf("seed %d: final state diverged: live {dropping %v count %d next %v above %v} naive {%v %d %v %v}",
+			seed, live.dropping, live.count, live.dropNext, live.firstAbove,
+			naive.dropping, naive.count, naive.dropNext, naive.firstAbove)
+	}
+}
+
+func TestCoDelMatchesNaiveTranscription(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		driveCoDel(t, CoDelConfig{}, seed, 4000)
+	}
+}
+
+func TestCoDelECNMatchesNaiveTranscription(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		driveCoDel(t, CoDelConfig{ECN: true}, seed, 4000)
+	}
+}
+
+func TestCoDelWANParamsMatchNaiveTranscription(t *testing.T) {
+	// The canonical 5 ms / 100 ms parameters, to cover config plumbing.
+	cfg := CoDelConfig{Target: 5 * time.Millisecond, Interval: 100 * time.Millisecond}
+	for seed := int64(1); seed <= 5; seed++ {
+		driveCoDel(t, cfg, seed, 4000)
+	}
+}
+
+// TestCoDelNeverDropsBelowTarget pins the good-queue property: sojourn
+// times under the target never trigger the control law.
+func TestCoDelNeverDropsBelowTarget(t *testing.T) {
+	c := newCoDel(CoDelConfig{}, Limits{CapPackets: 100})
+	for i := 0; i < 1000; i++ {
+		now := sim.Time(i * 1000)
+		v := c.OnDequeue(Pkt{Size: 1500}, 50*time.Microsecond, State{Len: 10, Bytes: 15000}, now)
+		if v.Drop || v.Mark {
+			t.Fatalf("step %d: verdict %+v for sojourn below target", i, v)
+		}
+	}
+	if c.Stats().HeadDrops != 0 || c.Stats().Marks != 0 {
+		t.Fatalf("stats recorded action below target: %+v", c.Stats())
+	}
+}
+
+// TestCoDelMTUBacklogFloor pins the standing-backlog floor: with at most
+// one MTU queued, CoDel stays passive however large the sojourn time.
+func TestCoDelMTUBacklogFloor(t *testing.T) {
+	c := newCoDel(CoDelConfig{}, Limits{CapPackets: 100})
+	for i := 0; i < 100; i++ {
+		now := sim.Time(i * 100_000)
+		v := c.OnDequeue(Pkt{Size: 1500}, 10*time.Millisecond, State{Len: 1, Bytes: 1500}, now)
+		if v.Drop || v.Mark {
+			t.Fatalf("step %d: verdict %+v with backlog at MTU floor", i, v)
+		}
+	}
+}
+
+// TestCoDelControlLawSpacing checks the interval/sqrt(count) schedule:
+// under a persistently bad queue, the gap between the n-th and n+1-th
+// drop is interval/sqrt(n+1).
+func TestCoDelControlLawSpacing(t *testing.T) {
+	cfg := CoDelConfig{}.withDefaults()
+	c := newCoDel(cfg, Limits{CapPackets: 100})
+	st := State{Len: 50, Bytes: 75000}
+	soj := 500 * time.Microsecond // persistently above target
+	var drops []sim.Time
+	for i := 0; i < 400_000 && len(drops) < 6; i++ {
+		now := sim.Time(i * 1000) // 1 µs service clock
+		if c.OnDequeue(Pkt{Size: 1500}, soj, st, now).Drop {
+			drops = append(drops, now)
+		}
+	}
+	if len(drops) < 6 {
+		t.Fatalf("persistent overload produced only %d drops", len(drops))
+	}
+	for n := 1; n < len(drops)-1; n++ {
+		gap := drops[n+1].Sub(drops[n])
+		want := time.Duration(float64(cfg.Interval) / math.Sqrt(float64(n+1)))
+		if diff := (gap - want).Abs(); diff > 2*time.Microsecond {
+			t.Fatalf("drop %d->%d gap %v, control law wants %v", n, n+1, gap, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package aqm
+
+import (
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// dropTail is the paper's COTS switch queue: tail drop at capacity and
+// instantaneous-queue ECN marking at enqueue time (DCTCP style). It is a
+// verbatim extraction of the behavior historically hard-coded in
+// netsim.Queue, and the default discipline — simulations that do not opt
+// into AQM are byte-identical to the pre-aqm tree.
+type dropTail struct {
+	lim   Limits
+	stats Stats
+}
+
+func newDropTail(lim Limits) *dropTail { return &dropTail{lim: lim} }
+
+func (d *dropTail) Name() string { return "droptail" }
+
+func (d *dropTail) OnEnqueue(p Pkt, q State, _ sim.Time) EnqueueVerdict {
+	if !d.lim.admits(p, q) {
+		return EnqueueVerdict{Drop: true}
+	}
+	if p.ECT && d.shouldMark(p, q) {
+		d.stats.Marks++
+		return EnqueueVerdict{Mark: true}
+	}
+	return EnqueueVerdict{}
+}
+
+// shouldMark is the historical instantaneous ECN threshold test, against
+// the occupancy the arriving packet finds.
+func (d *dropTail) shouldMark(_ Pkt, q State) bool {
+	if d.lim.ECNThresholdPackets > 0 && q.Len >= d.lim.ECNThresholdPackets {
+		return true
+	}
+	if d.lim.ECNThresholdBytes > 0 && q.Bytes >= d.lim.ECNThresholdBytes {
+		return true
+	}
+	return false
+}
+
+func (d *dropTail) OnDequeue(Pkt, time.Duration, State, sim.Time) DequeueVerdict {
+	return DequeueVerdict{}
+}
+
+func (d *dropTail) OnRemove(Pkt) {}
+
+func (d *dropTail) Stats() Stats { return d.stats }

@@ -1,0 +1,118 @@
+package aqm
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcptrim/internal/sim"
+)
+
+// naiveFavour models the FavourQueue promotion rule with a plain slice
+// multiset of queued flows: a packet is favoured iff no packet of its
+// flow is currently in the queue.
+type naiveFavour struct {
+	flows []uint64
+}
+
+func (n *naiveFavour) favoured(flow uint64) bool {
+	for _, f := range n.flows {
+		if f == flow {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *naiveFavour) add(flow uint64) { n.flows = append(n.flows, flow) }
+
+func (n *naiveFavour) remove(flow uint64) {
+	for i, f := range n.flows {
+		if f == flow {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// TestFavourQueueMatchesNaivePromotionRule runs the live discipline and
+// the slice-multiset model in lockstep over random enqueue/remove
+// streams and compares every promotion decision.
+func TestFavourQueueMatchesNaivePromotionRule(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		live := newFavourQueue(Limits{CapPackets: 60})
+		naive := &naiveFavour{}
+		drv := rand.New(rand.NewSource(seed))
+		var q []Pkt // the shared model queue, in arrival (not service) order
+		var bytes int
+		favoured := 0
+		for i := 0; i < 3000; i++ {
+			now := sim.Time(i * 1000)
+			if drv.Intn(3) == 0 && len(q) > 0 {
+				// Remove a random queued packet (models delivery, head
+				// drop, or drain — OnRemove must cover them all).
+				j := drv.Intn(len(q))
+				p := q[j]
+				q = append(q[:j], q[j+1:]...)
+				bytes -= p.Size
+				live.OnRemove(p)
+				naive.remove(p.Flow)
+				continue
+			}
+			p := Pkt{Size: 100 + drv.Intn(1400), ECT: drv.Intn(2) == 0, Flow: uint64(drv.Intn(6))}
+			st := State{Len: len(q), Bytes: bytes}
+			v := live.OnEnqueue(p, st, now)
+			if v.Drop {
+				if len(q) < 60 {
+					t.Fatalf("seed %d step %d: drop below capacity", seed, i)
+				}
+				continue
+			}
+			if want := naive.favoured(p.Flow); v.Favour != want {
+				t.Fatalf("seed %d step %d flow %d: live favour=%v, naive %v (queue %v)",
+					seed, i, p.Flow, v.Favour, want, naive.flows)
+			}
+			if v.Favour {
+				favoured++
+			}
+			naive.add(p.Flow)
+			q = append(q, p)
+			bytes += p.Size
+		}
+		if favoured == 0 {
+			t.Fatalf("seed %d: driver never exercised a promotion", seed)
+		}
+		if got := live.Stats().Favoured; got != favoured {
+			t.Fatalf("seed %d: Stats().Favoured = %d, observed %d", seed, got, favoured)
+		}
+		// Drain everything: the per-flow bookkeeping must return to empty.
+		for _, p := range q {
+			live.OnRemove(p)
+		}
+		if len(live.queued) != 0 {
+			t.Fatalf("seed %d: residual flow bookkeeping after drain: %v", seed, live.queued)
+		}
+	}
+}
+
+// TestFavourQueueAdmissionIsDropTail pins that FavourQueue changes only
+// ordering: its admission and ECN-marking verdicts are exactly
+// drop-tail's for identical inputs.
+func TestFavourQueueAdmissionIsDropTail(t *testing.T) {
+	lim := Limits{CapPackets: 10, ECNThresholdPackets: 4}
+	fav := newFavourQueue(lim)
+	dt := newDropTail(lim)
+	drv := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := Pkt{Size: 1500, ECT: drv.Intn(2) == 0, Flow: uint64(i)} // unique flows: always favoured
+		st := State{Len: drv.Intn(12), Bytes: drv.Intn(12) * 1500}
+		got := fav.OnEnqueue(p, st, sim.Time(i))
+		want := dt.OnEnqueue(p, st, sim.Time(i))
+		got.Favour = false // ordering is the one permitted difference
+		if got != want {
+			t.Fatalf("step %d state %+v: favour %+v != droptail %+v", i, st, got, want)
+		}
+		if !got.Drop {
+			fav.OnRemove(p)
+		}
+	}
+}

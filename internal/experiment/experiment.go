@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"tcptrim/internal/aqm"
 	"tcptrim/internal/cc"
 	"tcptrim/internal/core"
 	"tcptrim/internal/metrics"
@@ -115,6 +116,22 @@ type Options struct {
 	// (fig4, fig6, fig9, fig10) also write them as CSV files into this
 	// directory for plotting.
 	CSVDir string
+	// AQM optionally swaps the switch queue discipline in the runners
+	// that honor it (fig4/fig6 impairment, resilience): a name accepted
+	// by aqm.Parse — droptail, red, ared, codel, favour. Empty keeps each
+	// scenario's default drop-tail switch, preserving historical outputs
+	// byte for byte.
+	AQM string
+}
+
+// aqmOverride resolves the AQM option; ok is false when the option is
+// unset and the scenario default should stand.
+func (o Options) aqmOverride() (cfg aqm.Config, ok bool, err error) {
+	if o.AQM == "" {
+		return aqm.Config{}, false, nil
+	}
+	cfg, err = aqm.Parse(o.AQM)
+	return cfg, err == nil, err
 }
 
 // saveSeriesCSV writes a series into opts.CSVDir when exporting is

@@ -53,10 +53,14 @@ type ImpairmentResult struct {
 	// train is released.
 	CwndAtLPTStart []float64
 	// QueueMax / QueueDrops summarize the bottleneck queue. QueueDrops are
-	// congestion (tail) drops only; fault-layer losses appear in
-	// BottleneckFaults so the two are never conflated.
+	// congestion drops only (tail, AQM early, and AQM head — split in
+	// QueueStats); fault-layer losses appear in BottleneckFaults so the
+	// two are never conflated.
 	QueueMax   int
 	QueueDrops int
+	// QueueStats is the bottleneck queue's full ledger, including the
+	// drop split by cause and the discipline's mark count.
+	QueueStats netsim.QueueStats
 	// BottleneckFaults are the bottleneck pipe's fault-injection counters
 	// (all zero unless a caller armed injectors on the star's bottleneck).
 	BottleneckFaults netsim.PipeStats
@@ -90,7 +94,13 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	proto := Protocol(label)
 	rng := sim.NewRand(opts.seed())
 	sched := sim.NewScheduler()
-	star := topology.NewStar(sched, impairmentServers, topology.DefaultStarLink(impairmentBuffer))
+	link := topology.DefaultStarLink(impairmentBuffer)
+	if aqmCfg, ok, err := opts.aqmOverride(); err != nil {
+		return nil, err
+	} else if ok {
+		link.Queue.AQM = aqmCfg
+	}
+	star := topology.NewStar(sched, impairmentServers, link)
 
 	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
 		Senders:  star.Senders,
@@ -160,7 +170,8 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	}
 	res.LPTCompletion = lptDone
 	res.QueueMax = int(queueSeries.Max())
-	res.QueueDrops = queue.Stats().Dropped
+	res.QueueStats = queue.Stats()
+	res.QueueDrops = res.QueueStats.Dropped
 	res.BottleneckFaults = star.Bottleneck.Stats()
 	for _, r := range fleet.Collector.Responses() {
 		if r.Completed > res.AllDoneBy {
@@ -209,8 +220,13 @@ func (r *ImpairmentResult) WriteTables(w io.Writer) error {
 	}
 	t.Caption = fmt.Sprintf("queue max %d pkts, drops %d, all done by %v",
 		r.QueueMax, r.QueueDrops, r.AllDoneBy)
-	// Injected-fault counters are appended only when nonzero so fault-free
-	// runs keep their historical byte-identical output.
+	// The drop split and injected-fault counters are appended only when an
+	// AQM or fault actually fired, so default (drop-tail, fault-free) runs
+	// keep their historical byte-identical output.
+	if q := r.QueueStats; q.EarlyDrops > 0 || q.HeadDrops > 0 {
+		t.Caption += fmt.Sprintf(" (split: %d tail, %d aqm-early, %d aqm-head)",
+			q.TailDrops, q.EarlyDrops, q.HeadDrops)
+	}
 	if f := r.BottleneckFaults; f.InjectedDrops() > 0 || f.Reordered > 0 || f.Duplicated > 0 {
 		t.Caption += fmt.Sprintf("; injected faults: %d loss, %d burst, %d flap, %d reordered, %d duplicated",
 			f.LossDrops, f.BurstLossDrops, f.FlapDrops, f.Reordered, f.Duplicated)

@@ -17,6 +17,7 @@ import (
 	"io"
 	"time"
 
+	"tcptrim/internal/aqm"
 	"tcptrim/internal/httpapp"
 	"tcptrim/internal/netsim"
 	"tcptrim/internal/sim"
@@ -102,9 +103,12 @@ type ResilienceRow struct {
 	Complete     int
 	Total        int
 	// Injected separates fault-layer drops/mutations (bottleneck pipe
-	// counters) from CongestionDrops (the bottleneck queue's tail drops).
+	// counters) from CongestionDrops (the bottleneck queue's drops:
+	// tail, AQM early, and AQM head — split in QueueStats).
 	Injected        netsim.PipeStats
 	CongestionDrops int
+	// QueueStats carries the drop split by cause for the bottleneck.
+	QueueStats netsim.QueueStats
 }
 
 // ResilienceResult holds the matrix.
@@ -140,8 +144,12 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 			cells = append(cells, cell{p, fi})
 		}
 	}
+	aqmCfg, aqmSet, err := opts.aqmOverride()
+	if err != nil {
+		return nil, err
+	}
 	rows, err := RunSeededTrials(len(cells), opts.seed(), func(i int, seed int64) (*ResilienceRow, error) {
-		return runResilienceCell(cells[i].proto, cells[i].fi, seed)
+		return runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet)
 	})
 	if err != nil {
 		return nil, err
@@ -165,13 +173,20 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 	return out, nil
 }
 
-func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64) (*ResilienceRow, error) {
+func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm.Config, aqmSet bool) (*ResilienceRow, error) {
 	rng := sim.NewRand(seed)
 	sched := sim.NewScheduler()
+	queueCfg := netsim.QueueConfig{CapPackets: 100, ECNThresholdPackets: 20}
+	if aqmSet {
+		queueCfg.AQM = aqmCfg
+		if aqmCfg.Kind == aqm.RED {
+			queueCfg.AQM.RED.Seed = SplitSeed(seed, 4)
+		}
+	}
 	star := topology.NewStar(sched, rsServers, netsim.LinkConfig{
 		Rate:  netsim.Gbps,
 		Delay: 50 * time.Microsecond,
-		Queue: netsim.QueueConfig{CapPackets: 100, ECNThresholdPackets: 20},
+		Queue: queueCfg,
 	})
 	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
 		Senders:  star.Senders,
@@ -252,6 +267,7 @@ func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64) (*Resilien
 		WindowMbps: float64(bytesAtEnd-bytesAtStart) * 8 /
 			(rsFaultEnd - rsFaultStart).Seconds() / 1e6,
 		Injected:        bn.Stats(),
+		QueueStats:      bn.Queue().Stats(),
 		CongestionDrops: bn.Queue().Stats().Dropped,
 	}
 	for _, c := range fleet.Conns {
@@ -295,6 +311,13 @@ func (r *ResilienceResult) WriteTables(w io.Writer) error {
 		if row.RecoveryTime < 0 {
 			recovery = "never"
 		}
+		// Congestion drops split by cause when an AQM actually acted;
+		// the plain total otherwise (historical format).
+		cong := fmt.Sprintf("%d", row.CongestionDrops)
+		if q := row.QueueStats; q.EarlyDrops > 0 || q.HeadDrops > 0 {
+			cong = fmt.Sprintf("%d(%dt/%de/%dh)",
+				row.CongestionDrops, q.TailDrops, q.EarlyDrops, q.HeadDrops)
+		}
 		t.Rows = append(t.Rows, []string{
 			string(row.Protocol),
 			row.Intensity,
@@ -307,7 +330,7 @@ func (r *ResilienceResult) WriteTables(w io.Writer) error {
 			fmt.Sprintf("%d", row.Injected.FlapDrops),
 			fmt.Sprintf("%d", row.Injected.Reordered),
 			fmt.Sprintf("%d", row.Injected.Duplicated),
-			fmt.Sprintf("%d", row.CongestionDrops),
+			cong,
 			fmt.Sprintf("%d/%d", row.Complete, row.Total),
 		})
 	}

@@ -27,9 +27,39 @@ func TestSmokeFig1(t *testing.T) {
 	}
 }
 
+func TestSmokeAQMSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("aqmsweep-smoke", Options{}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"droptail", "red", "codel", "favour"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aqmsweep-smoke output missing discipline %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeImpairmentAQMOverride(t *testing.T) {
+	// The -aqm plumbing end to end: a CoDel override must run and report
+	// the drop split; a bad name must fail before simulating.
+	var sb strings.Builder
+	if err := Run("fig4", Options{AQM: "codel"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "aqm-head") {
+		t.Errorf("codel override produced no drop split in caption:\n%s", sb.String())
+	}
+	if err := Run("fig4", Options{AQM: "bogus"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "unknown discipline") {
+		t.Errorf("bogus AQM name: err = %v", err)
+	}
+}
+
 func TestRunnersRegistered(t *testing.T) {
 	want := []string{
 		"abl-alpha", "abl-buffer", "abl-inherit", "abl-probe",
+		"aqmsweep", "aqmsweep-smoke",
 		"conformance", "eq22",
 		"ext-deadline", "ext-delay", "ext-jitter", "ext-loss", "ext-scatter",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig13a",

@@ -165,8 +165,11 @@ func (p *Pipe) SetLinkDown(down bool) {
 	if !down {
 		return
 	}
+	// DrainOne bypasses the discipline's dequeue verdicts: the blackholed
+	// backlog is the fault layer's doing and must land in FlapDrops, not
+	// in the AQM's head-drop counters.
 	for {
-		pkt := p.queue.Dequeue()
+		pkt := p.queue.DrainOne()
 		if pkt == nil {
 			return
 		}

@@ -40,6 +40,11 @@ func (p *Pipe) ownedPooled() int {
 			n++
 		}
 	}
+	for _, pkt := range q.fav[q.favHead:] {
+		if pkt != nil && pkt.pooled {
+			n++
+		}
+	}
 	if p.faults != nil {
 		n += p.faults.heldPooled
 	}
@@ -109,9 +114,10 @@ func (n *Network) dumpState() string {
 				down = p.faults.down
 			}
 			fmt.Fprintf(&b,
-				"  pipe %s->%s: queued=%d inflight=%d tx=%d held=%d down=%v stats=%+v qstats=%+v\n",
+				"  pipe %s->%s: queued=%d inflight=%d tx=%d held=%d down=%v aqm=%s stats=%+v qstats=%+v\n",
 				p.from.Name(), p.to.Name(), p.queue.Len(),
-				len(p.inFlight)-p.flightHead, tx, held, down, p.stats, p.queue.stats)
+				len(p.inFlight)-p.flightHead, tx, held, down,
+				p.queue.disc.Name(), p.stats, p.queue.stats)
 		}
 	}
 	return b.String()

@@ -108,6 +108,12 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) (*Pipe, *Pipe) {
 		rate: cfg.Rate, delay: cfg.Delay,
 		queue: NewQueue(cfg.Queue),
 	}
+	// Queues stamp enqueue times with the simulation clock (sojourn-time
+	// AQMs need it) and return head-dropped packets to the pool.
+	for _, q := range [...]*Queue{ab.queue, ba.queue} {
+		q.SetClock(n.sched.Now)
+		q.SetDropHandler(n.ReleasePacket)
+	}
 	n.out[a.ID()] = append(n.out[a.ID()], ab)
 	n.out[b.ID()] = append(n.out[b.ID()], ba)
 	n.routes = make(map[NodeID]map[NodeID][]*Pipe)

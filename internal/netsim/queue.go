@@ -1,31 +1,59 @@
 package netsim
 
-// QueueStats aggregates lifetime counters for one queue.
+import (
+	"tcptrim/internal/aqm"
+	"tcptrim/internal/sim"
+)
+
+// QueueStats aggregates lifetime counters for one queue. Dropped is the
+// total of all congestion drops; TailDrops, EarlyDrops, and HeadDrops
+// split it by cause so experiment captions can distinguish a full buffer
+// (tail) from an AQM decision (RED's probabilistic early drop, CoDel's
+// sojourn-time head drop). Under the default drop-tail discipline every
+// drop is a tail drop, preserving the historical meaning of Dropped.
 type QueueStats struct {
 	Enqueued int
 	Dropped  int
 	Marked   int
 	MaxLen   int // packets
 	MaxBytes int
+
+	// DroppedBytes totals the wire bytes of all dropped packets.
+	DroppedBytes int
+	// TailDrops are rejections for lack of buffer space.
+	TailDrops int
+	// EarlyDrops are AQM probabilistic drops decided at enqueue (RED).
+	EarlyDrops int
+	// HeadDrops are AQM drops decided at dequeue (CoDel).
+	HeadDrops int
 }
 
-// Queue is a drop-tail FIFO with capacity expressed in packets and/or
-// bytes (zero means "no limit in that unit") and an optional ECN marking
-// threshold. It matches the COTS-switch queue model the paper assumes:
-// tail drop, instantaneous-queue ECN marking at enqueue time (DCTCP
-// style).
+// Queue is a switch egress queue with capacity expressed in packets
+// and/or bytes (zero means "no limit in that unit"). Admission, ECN
+// marking, head drops, and priority placement are delegated to an aqm
+// Discipline; the default discipline reproduces the COTS-switch model
+// the paper assumes (tail drop, instantaneous-queue ECN marking at
+// enqueue time, DCTCP style) exactly.
+//
+// Storage is two FIFO bands: the favoured band (used only when the
+// discipline issues Favour verdicts, e.g. FavourQueue) drains strictly
+// before the main band. Both share the configured capacity.
 type Queue struct {
 	capPackets int
 	capBytes   int
 
-	// markThresholdPackets / markThresholdBytes: when > 0, packets whose
-	// arrival finds the queue at or above the threshold are CE-marked if
-	// they are ECN-capable.
-	markThresholdPackets int
-	markThresholdBytes   int
+	disc   aqm.Discipline
+	clock  func() sim.Time
+	dropFn func(*Packet)
 
 	pkts  []*Packet
+	times []sim.Time // per-packet enqueue instants, aligned with pkts
 	head  int
+
+	fav      []*Packet
+	favTimes []sim.Time
+	favHead  int
+
 	bytes int
 	stats QueueStats
 }
@@ -38,23 +66,59 @@ type QueueConfig struct {
 	CapBytes int
 	// ECNThresholdPackets enables DCTCP-style marking when the
 	// instantaneous queue length reaches this many packets (0 = off).
+	// The threshold is interpreted by the discipline; drop-tail and
+	// FavourQueue apply it verbatim, RED and CoDel use their own marking
+	// rules instead.
 	ECNThresholdPackets int
 	// ECNThresholdBytes enables marking on queued bytes (0 = off).
 	ECNThresholdBytes int
+	// AQM selects the queue discipline. The zero value is drop-tail,
+	// byte-identical to the historical hard-coded behavior.
+	AQM aqm.Config
 }
 
-// NewQueue builds a queue from cfg.
-func NewQueue(cfg QueueConfig) *Queue {
-	return &Queue{
-		capPackets:           cfg.CapPackets,
-		capBytes:             cfg.CapBytes,
-		markThresholdPackets: cfg.ECNThresholdPackets,
-		markThresholdBytes:   cfg.ECNThresholdBytes,
+// limits maps the config onto the discipline's view of the queue.
+func (cfg QueueConfig) limits() aqm.Limits {
+	return aqm.Limits{
+		CapPackets:          cfg.CapPackets,
+		CapBytes:            cfg.CapBytes,
+		ECNThresholdPackets: cfg.ECNThresholdPackets,
+		ECNThresholdBytes:   cfg.ECNThresholdBytes,
 	}
 }
 
+// NewQueue builds a queue from cfg, constructing a fresh discipline
+// instance (disciplines hold per-queue state and are never shared). An
+// unknown AQM kind is a configuration bug and panics at build time.
+func NewQueue(cfg QueueConfig) *Queue {
+	return &Queue{
+		capPackets: cfg.CapPackets,
+		capBytes:   cfg.CapBytes,
+		disc:       cfg.AQM.MustBuild(cfg.limits()),
+	}
+}
+
+// SetClock installs the simulation clock the queue stamps enqueue times
+// with and passes to the discipline (sojourn-time AQMs need it). A nil
+// clock — hand-built queues in unit tests — pins time at zero.
+func (q *Queue) SetClock(fn func() sim.Time) { q.clock = fn }
+
+// SetDropHandler installs the release hook for packets the discipline
+// drops from the head of the queue (tail drops are rejected at Enqueue
+// and released by the caller). Network.Connect points it at the packet
+// pool; without one, head-dropped packets are simply discarded.
+func (q *Queue) SetDropHandler(fn func(*Packet)) { q.dropFn = fn }
+
+// Discipline exposes the queue's AQM policy (for stats reporting).
+func (q *Queue) Discipline() aqm.Discipline { return q.disc }
+
+// AQMStats returns the discipline's counter snapshot.
+func (q *Queue) AQMStats() aqm.Stats { return q.disc.Stats() }
+
 // Len returns the instantaneous queue length in packets.
-func (q *Queue) Len() int { return len(q.pkts) - q.head }
+func (q *Queue) Len() int {
+	return (len(q.pkts) - q.head) + (len(q.fav) - q.favHead)
+}
 
 // Bytes returns the instantaneous queued bytes.
 func (q *Queue) Bytes() int { return q.bytes }
@@ -62,22 +126,40 @@ func (q *Queue) Bytes() int { return q.bytes }
 // Stats returns a copy of the lifetime counters.
 func (q *Queue) Stats() QueueStats { return q.stats }
 
-// Enqueue appends p, applying tail drop and ECN marking. It reports
-// whether the packet was accepted; a rejected packet is dropped.
+func (q *Queue) now() sim.Time {
+	if q.clock == nil {
+		return 0
+	}
+	return q.clock()
+}
+
+// Enqueue offers p to the discipline and appends it on admission. It
+// reports whether the packet was accepted; a rejected packet has been
+// counted as dropped and must be released by the caller.
 func (q *Queue) Enqueue(p *Packet) bool {
-	if q.capPackets > 0 && q.Len() >= q.capPackets {
+	now := q.now()
+	v := q.disc.OnEnqueue(aqmPkt(p), aqm.State{Len: q.Len(), Bytes: q.bytes}, now)
+	if v.Drop {
 		q.stats.Dropped++
+		q.stats.DroppedBytes += p.Size
+		if v.Early {
+			q.stats.EarlyDrops++
+		} else {
+			q.stats.TailDrops++
+		}
 		return false
 	}
-	if q.capBytes > 0 && q.bytes+p.Size > q.capBytes {
-		q.stats.Dropped++
-		return false
-	}
-	if p.ECT && q.shouldMark() {
+	if v.Mark && p.ECT {
 		p.CE = true
 		q.stats.Marked++
 	}
-	q.pkts = append(q.pkts, p)
+	if v.Favour {
+		q.fav = append(q.fav, p)
+		q.favTimes = append(q.favTimes, now)
+	} else {
+		q.pkts = append(q.pkts, p)
+		q.times = append(q.times, now)
+	}
 	q.bytes += p.Size
 	q.stats.Enqueued++
 	if l := q.Len(); l > q.stats.MaxLen {
@@ -89,30 +171,88 @@ func (q *Queue) Enqueue(p *Packet) bool {
 	return true
 }
 
-// Dequeue removes and returns the head packet, or nil when empty.
+// Dequeue removes and returns the next deliverable packet, or nil when
+// empty. The discipline inspects each departing head packet (with its
+// sojourn time and the occupancy remaining behind it); a Drop verdict
+// releases the packet via the drop handler and the next head is offered,
+// so one Dequeue call may consume several queued packets.
 func (q *Queue) Dequeue() *Packet {
-	if q.Len() == 0 {
+	for {
+		p, enq := q.pop()
+		if p == nil {
+			return nil
+		}
+		now := q.now()
+		v := q.disc.OnDequeue(aqmPkt(p), now.Sub(enq), aqm.State{Len: q.Len(), Bytes: q.bytes}, now)
+		q.disc.OnRemove(aqmPkt(p))
+		if v.Drop {
+			q.stats.Dropped++
+			q.stats.DroppedBytes += p.Size
+			q.stats.HeadDrops++
+			if q.dropFn != nil {
+				q.dropFn(p)
+			}
+			continue
+		}
+		if v.Mark && p.ECT {
+			p.CE = true
+			q.stats.Marked++
+		}
+		return p
+	}
+}
+
+// DrainOne removes and returns the head packet without consulting the
+// discipline's dequeue verdicts: the caller (the fault layer blackholing
+// a downed link's backlog) owns the drop decision and its accounting, so
+// AQM counters must not claim these packets. The discipline is still
+// notified of the departure to keep per-flow state exact.
+func (q *Queue) DrainOne() *Packet {
+	p, _ := q.pop()
+	if p == nil {
 		return nil
 	}
-	p := q.pkts[q.head]
+	q.disc.OnRemove(aqmPkt(p))
+	return p
+}
+
+// pop removes the head packet — favoured band first — returning it with
+// its enqueue instant.
+func (q *Queue) pop() (*Packet, sim.Time) {
+	if q.favHead < len(q.fav) {
+		p, at := q.fav[q.favHead], q.favTimes[q.favHead]
+		q.fav[q.favHead] = nil
+		q.favHead++
+		q.bytes -= p.Size
+		// Compact once the dead prefix dominates, keeping amortized O(1).
+		if q.favHead > 64 && q.favHead*2 >= len(q.fav) {
+			n := copy(q.fav, q.fav[q.favHead:])
+			copy(q.favTimes, q.favTimes[q.favHead:])
+			q.fav = q.fav[:n]
+			q.favTimes = q.favTimes[:n]
+			q.favHead = 0
+		}
+		return p, at
+	}
+	if q.head >= len(q.pkts) {
+		return nil, 0
+	}
+	p, at := q.pkts[q.head], q.times[q.head]
 	q.pkts[q.head] = nil
 	q.head++
 	q.bytes -= p.Size
 	// Compact once the dead prefix dominates, keeping amortized O(1).
 	if q.head > 64 && q.head*2 >= len(q.pkts) {
 		n := copy(q.pkts, q.pkts[q.head:])
+		copy(q.times, q.times[q.head:])
 		q.pkts = q.pkts[:n]
+		q.times = q.times[:n]
 		q.head = 0
 	}
-	return p
+	return p, at
 }
 
-func (q *Queue) shouldMark() bool {
-	if q.markThresholdPackets > 0 && q.Len() >= q.markThresholdPackets {
-		return true
-	}
-	if q.markThresholdBytes > 0 && q.bytes >= q.markThresholdBytes {
-		return true
-	}
-	return false
+// aqmPkt projects the discipline-visible fields of a packet.
+func aqmPkt(p *Packet) aqm.Pkt {
+	return aqm.Pkt{Size: p.Size, ECT: p.ECT, Flow: uint64(p.Flow)}
 }

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/aqm"
+	"tcptrim/internal/sim"
+)
+
+// BenchmarkQueueDisciplines measures the Enqueue+Dequeue hot path under
+// each discipline at a standing occupancy deep enough that every policy
+// is active (above droptail's ECN threshold and RED's MinTh, with CoDel
+// sojourn times above target). CI's bench smoke runs this with -benchmem:
+// the whole cycle must stay allocation-free in steady state.
+func BenchmarkQueueDisciplines(b *testing.B) {
+	const depth = 30
+	cfgs := []struct {
+		name string
+		aqm  aqm.Config
+	}{
+		{"droptail", aqm.Config{Kind: aqm.DropTail}},
+		{"red", aqm.Config{Kind: aqm.RED, RED: aqm.REDConfig{Seed: 1}}},
+		{"ared", aqm.Config{Kind: aqm.RED, RED: aqm.REDConfig{Adaptive: true, Seed: 1}}},
+		{"codel", aqm.Config{Kind: aqm.CoDel}},
+		{"favour", aqm.Config{Kind: aqm.FavourQueue}},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			q := NewQueue(QueueConfig{CapPackets: 100, ECNThresholdPackets: 20, AQM: cfg.aqm})
+			now := sim.Time(0)
+			q.SetClock(func() sim.Time { return now })
+			q.SetDropHandler(func(*Packet) {})
+			// A fixed pool of reusable packets across 8 flows; the bench
+			// recycles whatever leaves the queue, so no allocation is the
+			// queue's fault if the count stays nonzero.
+			pkts := make([]*Packet, 0, depth+1)
+			for i := 0; i <= depth; i++ {
+				p := dataPkt(uint64(i), 1500)
+				p.ECT = true
+				p.Flow = FlowID(i % 8)
+				pkts = append(pkts, p)
+			}
+			for _, p := range pkts[:depth] {
+				now = now.Add(time.Microsecond)
+				q.Enqueue(p)
+			}
+			spare := pkts[depth]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = now.Add(10 * time.Microsecond)
+				if !q.Enqueue(spare) {
+					spare.CE = false
+					continue
+				}
+				if p := q.Dequeue(); p != nil {
+					p.CE = false
+					spare = p
+				} else {
+					// Queue momentarily drained by head drops; refill.
+					spare = pkts[0]
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueueCompactionChurn exercises the amortized head-compaction
+// path: long alternating bursts push the dead prefix past the trigger
+// every cycle.
+func BenchmarkQueueCompactionChurn(b *testing.B) {
+	q := NewQueue(QueueConfig{})
+	pkts := make([]*Packet, 200)
+	for i := range pkts {
+		pkts[i] = dataPkt(uint64(i), 1500)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pkts {
+			q.Enqueue(p)
+		}
+		for range pkts {
+			q.Dequeue()
+		}
+	}
+}
