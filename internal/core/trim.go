@@ -216,7 +216,6 @@ func (t *Trim) OnSent(ev tcp.SendEvent) bool {
 }
 
 func (t *Trim) armProbeDeadline() {
-	t.probeTimer.Stop()
 	// Algorithm 2 waits "a smoothed RTT" for the probe ACKs, scaled by
 	// the ProbeDeadlineFactor deviation knob (default 2× — still far
 	// below any RTO; see Config.ProbeDeadlineFactor).
@@ -224,7 +223,9 @@ func (t *Trim) armProbeDeadline() {
 	if deadline <= 0 {
 		deadline = time.Millisecond
 	}
-	t.probeTimer = t.ctl.After(deadline, t.probeFn)
+	if !t.probeTimer.Reset(deadline) {
+		t.probeTimer = t.ctl.After(deadline, t.probeFn)
+	}
 }
 
 // onProbeDeadline fires when a probe ACK failed to arrive within one

@@ -93,6 +93,17 @@ type pipeFaults struct {
 
 	dupProb float64
 	dupRng  *rand.Rand
+
+	// Flap schedule state: one persistent timer per pipe drives every
+	// down/up edge (flapTick is bound once, so the timer re-slots in
+	// place via Reset instead of chaining fresh closures), and a new
+	// ScheduleFlaps replaces a still-pending schedule outright.
+	flapTimer     sim.Timer
+	flapTick      func()
+	flapDownFor   time.Duration
+	flapUpFor     time.Duration
+	flapRemaining int
+	flapNextDown  bool
 }
 
 func (p *Pipe) faultState() *pipeFaults {
@@ -192,7 +203,10 @@ type FlapConfig struct {
 }
 
 // ScheduleFlaps arms cfg.Count down/up cycles starting at cfg.FirstDownAt.
-// The last up edge restores the link for good.
+// The last up edge restores the link for good. A pipe carries at most one
+// flap schedule: scheduling again while an edge is still pending re-slots
+// the pipe's flap timer to the new first edge and adopts the new
+// configuration, rather than layering a second chain on top of the first.
 func (p *Pipe) ScheduleFlaps(cfg FlapConfig) error {
 	if cfg.DownFor <= 0 {
 		return fmt.Errorf("netsim: flap DownFor must be positive, got %v", cfg.DownFor)
@@ -204,21 +218,53 @@ func (p *Pipe) ScheduleFlaps(cfg FlapConfig) error {
 	if count > 1 && cfg.UpFor <= 0 {
 		return fmt.Errorf("netsim: flap UpFor must be positive for %d flaps", count)
 	}
-	remaining := count
-	var downFn, upFn func()
-	downFn = func() {
+	if cfg.FirstDownAt < p.sched.Now() {
+		return sim.ErrPastEvent
+	}
+	f := p.faultState()
+	if f.flapTick == nil {
+		f.flapTick = p.flapEdge
+	}
+	f.flapDownFor, f.flapUpFor = cfg.DownFor, cfg.UpFor
+	f.flapRemaining = count
+	f.flapNextDown = true
+	if f.flapTimer.Reset(cfg.FirstDownAt.Sub(p.sched.Now())) {
+		return nil
+	}
+	tm, err := p.sched.At(cfg.FirstDownAt, f.flapTick)
+	if err != nil {
+		return err
+	}
+	f.flapTimer = tm
+	return nil
+}
+
+// flapEdge drives the flap schedule: alternate down and up edges until
+// the configured cycle count is exhausted.
+func (p *Pipe) flapEdge() {
+	f := p.faults
+	if f.flapNextDown {
+		f.flapNextDown = false
 		p.SetLinkDown(true)
-		p.sched.After(cfg.DownFor, upFn)
+		p.armFlapEdge(f.flapDownFor)
+		return
 	}
-	upFn = func() {
-		p.SetLinkDown(false)
-		remaining--
-		if remaining > 0 {
-			p.sched.After(cfg.UpFor, downFn)
-		}
+	p.SetLinkDown(false)
+	f.flapRemaining--
+	f.flapNextDown = true
+	if f.flapRemaining > 0 {
+		p.armFlapEdge(f.flapUpFor)
 	}
-	_, err := p.sched.At(cfg.FirstDownAt, downFn)
-	return err
+}
+
+// armFlapEdge schedules the next flap edge, re-slotting the persistent
+// timer when it is still pending (a replaced schedule) and falling back
+// to a fresh event otherwise (the common case: the timer just fired).
+func (p *Pipe) armFlapEdge(d time.Duration) {
+	f := p.faults
+	if !f.flapTimer.Reset(d) {
+		f.flapTimer = p.sched.After(d, f.flapTick)
+	}
 }
 
 // clonePacket duplicates pkt for injection. The clone comes from the

@@ -186,6 +186,50 @@ func TestScheduleFlapsTogglesAndValidates(t *testing.T) {
 	r.finish(t)
 }
 
+func TestScheduleFlapsReplacesPendingSchedule(t *testing.T) {
+	// A second ScheduleFlaps while the first edge is still pending must
+	// re-slot the pipe's flap timer in place: only the new schedule runs.
+	withInvariants(t)
+	r := newFaultRig(t, 100)
+	if err := r.ab.ScheduleFlaps(FlapConfig{
+		FirstDownAt: sim.At(time.Millisecond),
+		DownFor:     10 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ab.ScheduleFlaps(FlapConfig{
+		FirstDownAt: sim.At(4 * time.Millisecond),
+		DownFor:     time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ab.ScheduleFlaps(FlapConfig{FirstDownAt: sim.At(-time.Millisecond),
+		DownFor: time.Millisecond}); err == nil {
+		t.Error("FirstDownAt in the past accepted")
+	}
+	// Replaced schedule: the link must stay up through the old window and
+	// flap down only during [4ms, 5ms).
+	for _, probe := range []struct {
+		at   time.Duration
+		down bool
+	}{
+		{1500 * time.Microsecond, false},
+		{3 * time.Millisecond, false},
+		{4500 * time.Microsecond, true},
+		{6 * time.Millisecond, false},
+	} {
+		probe := probe
+		if _, err := r.sched.At(sim.At(probe.at), func() {
+			if got := r.ab.Down(); got != probe.down {
+				t.Errorf("Down() at %v = %v, want %v", probe.at, got, probe.down)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.finish(t)
+}
+
 func TestReorderDeliversEverythingOutOfOrder(t *testing.T) {
 	withInvariants(t)
 	r := newFaultRig(t, 4000)

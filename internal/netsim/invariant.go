@@ -73,6 +73,10 @@ func (q *Queue) checkBounds() string {
 // after the scheduler drained) — mid-event, a packet may legitimately be
 // in transit between owners on the call stack.
 func (n *Network) CheckInvariants() {
+	// The scheduler's own structural walk (wheel slots, bitmaps, overflow
+	// heap, live accounting) rides along: a corrupted timer structure
+	// would surface as misdelivered packets long after the actual fault.
+	n.sched.CheckAccounting()
 	owned := 0
 	var violations []string
 	for _, pipes := range n.out {

@@ -136,7 +136,7 @@ func TestEventReuseIdentity(t *testing.T) {
 		s.After(time.Microsecond, func() {})
 		s.Step()
 	}
-	if got := len(s.free) + len(s.heap); got > 4 {
+	if got := len(s.free) + s.wheel.count + len(s.overflow); got > 4 {
 		t.Errorf("after 1000 sequential events, pool holds %d events, want <= 4", got)
 	}
 }

@@ -10,51 +10,94 @@ import (
 // virtual time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
-// eventState tracks where an event is in its lifecycle. Cancelled events
-// stay in the heap until popped (lazy cancellation); done events live on
-// the scheduler's free list awaiting reuse.
+// eventState tracks where an event is in its lifecycle. Done events live
+// on the scheduler's free list awaiting reuse; cancellation releases an
+// event eagerly, so there is no lingering cancelled state.
 type eventState uint8
 
 const (
 	evScheduled eventState = iota
-	evCancelled
 	evDone
 )
 
+// Where an armed event is stored.
+const (
+	placeNone  uint8 = iota
+	placeWheel       // linked into a timing-wheel slot
+	placeHeap        // referenced by an overflow-heap entry
+)
+
 // event is a scheduled callback. seq provides stable FIFO ordering among
-// events with the same firing time so that runs are fully deterministic.
-// Events are recycled through a per-scheduler free list; gen is bumped on
-// every recycle so stale Timer handles can detect that their event has
-// been reused for a different callback.
+// events with the same firing time so that runs are fully deterministic;
+// it is reassigned on every arming (schedule or Timer.Reset), which also
+// lets stale overflow-heap entries be recognized by seq mismatch. Events
+// are recycled through a per-scheduler free list; gen is bumped on every
+// recycle so stale Timer handles can detect that their event has been
+// reused for a different callback.
 type event struct {
 	at    Time
 	seq   uint64
 	gen   uint64
 	fn    func()
-	state eventState
+	next  *event // wheel slot list links (intrusive, nil off-wheel)
+	prev  *event
 	sched *Scheduler
+	state eventState
+	where uint8
+	level uint8
+	slot  uint8
 }
 
-// Timer is a handle to a scheduled event that can be cancelled before it
-// fires. Timer is a small value; the zero Timer is valid and behaves as an
-// already-fired timer (Stop reports false, Pending reports false). The
-// generation captured at scheduling time guards against the underlying
-// event struct being recycled for a later callback.
+// Timer is a handle to a scheduled event that can be cancelled or
+// re-armed before it fires. Timer is a small value; the zero Timer is
+// valid and behaves as an already-fired timer (Stop and Reset report
+// false, Pending reports false). The generation captured at scheduling
+// time guards against the underlying event struct being recycled for a
+// later callback.
 type Timer struct {
 	ev  *event
 	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending
-// (i.e., Stop prevented it from firing).
+// (i.e., Stop prevented it from firing). The event is compacted out of
+// its wheel slot eagerly and returned to the free list.
 func (t Timer) Stop() bool {
 	ev := t.ev
 	if ev == nil || ev.gen != t.gen || ev.state != evScheduled {
 		return false
 	}
-	ev.state = evCancelled
-	ev.fn = nil // release the closure now; the heap entry drains lazily
-	ev.sched.live--
+	s := ev.sched
+	s.unplace(ev)
+	s.live--
+	s.release(ev)
+	return true
+}
+
+// Reset re-arms a still-pending timer to fire d after the current instant
+// (negative d is clamped to zero), keeping its callback and its handle
+// valid. It reports whether the timer was re-armed: a fired, stopped, or
+// zero Timer is left untouched and Reset returns false, in which case the
+// caller schedules afresh with After.
+//
+// Reset is exactly equivalent to a successful Stop followed by After with
+// the same callback — it consumes one sequence number, so dispatch order
+// is bit-for-bit identical — but re-slots the event in place instead of
+// round-tripping it through the free list.
+func (t Timer) Reset(d time.Duration) bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.state != evScheduled {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	s := ev.sched
+	s.unplace(ev)
+	ev.at = s.now.Add(d)
+	ev.seq = s.seq
+	s.seq++
+	s.place(ev)
 	return true
 }
 
@@ -68,18 +111,36 @@ func (t Timer) Pending() bool {
 // components share one Scheduler and must be driven from a single
 // goroutine.
 //
-// The pending set is a 4-ary min-heap on (at, seq) with lazy cancellation;
-// fired and cancelled events are recycled through a free list, so
+// The pending set is a hybrid hierarchical timing wheel plus overflow
+// heap. Near-future events — the overwhelming majority: per-packet pipe
+// deliveries, delayed ACKs, RTO and probe deadlines — hash into O(1)
+// wheel slots (see wheel.go); far-future events (flap schedules,
+// experiment end markers) go to a small 4-ary min-heap and migrate into
+// the wheel as the clock approaches. Cancelled events are compacted out
+// of wheel slots eagerly; a heap entry whose event was cancelled or
+// re-armed is recognized by seq mismatch and discarded when it surfaces.
+// Fired and cancelled events are recycled through a free list, so
 // steady-state scheduling performs no allocations.
 type Scheduler struct {
-	heap    []*event
-	free    []*event
 	now     Time
 	seq     uint64
 	live    int
+	fired   uint64
 	running bool
 	stopped bool
-	fired   uint64
+
+	wheel    wheel
+	overflow []heapEntry
+	heapLive int // armed events currently resident in the overflow heap
+	free     []*event
+
+	// Wheel synchronization keys: cascadeKey[l] tracks now>>levelShift(l)
+	// so crossing a level's slot boundary cascades that level's current
+	// slot exactly once; spanKey tracks now>>wheelSpanShift to migrate
+	// overflow events that came within the wheel span. Both preserve the
+	// strict level ordering findMin relies on.
+	cascadeKey [wheelLevels]uint64
+	spanKey    uint64
 }
 
 // NewScheduler returns an empty scheduler positioned at Start.
@@ -91,8 +152,7 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of live pending events: scheduled callbacks that
-// have neither fired nor been cancelled. Cancelled events awaiting lazy
-// removal from the heap are not counted.
+// have neither fired nor been cancelled.
 func (s *Scheduler) Len() int { return s.live }
 
 // Fired returns the total number of events executed so far.
@@ -106,7 +166,7 @@ func (s *Scheduler) At(t Time, fn func()) (Timer, error) {
 		return Timer{}, ErrPastEvent
 	}
 	ev := s.alloc(t, fn)
-	s.push(ev)
+	s.place(ev)
 	s.live++
 	return Timer{ev: ev, gen: ev.gen}, nil
 }
@@ -132,26 +192,12 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Step executes the single earliest pending event. It reports whether an
 // event was executed.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		ev := s.pop()
-		if ev.state != evScheduled {
-			s.release(ev)
-			continue
-		}
-		if invariantChecks.Load() && ev.at < s.now {
-			panic(fmt.Sprintf(
-				"sim: time went backwards: event seq=%d at=%v fired at now=%v (heap=%d live=%d fired=%d)",
-				ev.seq, ev.at, s.now, len(s.heap), s.live, s.fired))
-		}
-		s.now = ev.at
-		s.fired++
-		s.live--
-		fn := ev.fn
-		s.release(ev)
-		fn()
-		return true
+	ev := s.peekEvent()
+	if ev == nil {
+		return false
 	}
-	return false
+	s.dispatch(ev)
+	return true
 }
 
 // RunUntil executes events in order until the queue is empty, the horizon
@@ -167,23 +213,137 @@ func (s *Scheduler) RunUntil(t Time) {
 	defer func() { s.running = false }()
 
 	for !s.stopped {
-		next := s.peek()
-		if next == nil {
+		ev := s.peekEvent()
+		if ev == nil {
 			break
 		}
-		if next.at > t {
-			s.now = t
+		if ev.at > t {
+			s.advanceTo(t)
 			return
 		}
-		s.Step()
+		s.dispatch(ev)
 	}
 	if s.now < t && t != End && s.live == 0 {
-		s.now = t
+		s.advanceTo(t)
 	}
 }
 
 // Run executes events until the queue is empty or Stop is called.
 func (s *Scheduler) Run() { s.RunUntil(End) }
+
+// advanceTo moves the clock forward without dispatching, keeping the
+// wheel synchronized so later insertions address against the new instant.
+func (s *Scheduler) advanceTo(t Time) {
+	if t <= s.now {
+		return
+	}
+	s.now = t
+	s.syncWheel()
+}
+
+// dispatch removes ev from its container, advances the clock to its
+// instant, and runs its callback.
+func (s *Scheduler) dispatch(ev *event) {
+	if invariantChecks.Load() {
+		s.verifyDispatch(ev)
+	}
+	switch ev.where {
+	case placeWheel:
+		s.wheel.remove(ev)
+	case placeHeap:
+		// peekEvent returns a heap event only when it is the valid top.
+		s.overflowPop()
+		s.heapLive--
+		ev.where = placeNone
+	}
+	if ev.at > s.now {
+		s.now = ev.at
+		s.syncWheel()
+	}
+	s.fired++
+	s.live--
+	fn := ev.fn
+	s.release(ev)
+	fn()
+}
+
+// peekEvent returns the earliest pending event without executing it,
+// discarding stale overflow entries along the way.
+func (s *Scheduler) peekEvent() *event {
+	if ev := s.wheel.findMin(s.now); ev != nil {
+		return ev
+	}
+	// The wheel is empty; after migration every heap event is beyond the
+	// wheel span, so a valid top is the global minimum.
+	for len(s.overflow) > 0 {
+		e := s.overflow[0]
+		if e.ev.seq == e.seq && e.ev.state == evScheduled {
+			return e.ev
+		}
+		s.overflowPop()
+	}
+	return nil
+}
+
+// place files an armed event into the wheel or, beyond the wheel span,
+// the overflow heap.
+func (s *Scheduler) place(ev *event) {
+	if uint64(ev.at^s.now)>>wheelSpanShift != 0 {
+		s.overflowPush(heapEntry{at: ev.at, seq: ev.seq, ev: ev})
+		ev.where = placeHeap
+		s.heapLive++
+		return
+	}
+	s.wheel.insert(ev, s.now)
+}
+
+// unplace detaches a still-armed event from its container: wheel slots
+// compact eagerly, heap entries go stale and are discarded when popped.
+func (s *Scheduler) unplace(ev *event) {
+	switch ev.where {
+	case placeWheel:
+		s.wheel.remove(ev)
+	case placeHeap:
+		s.heapLive--
+		ev.where = placeNone
+	}
+}
+
+// syncWheel re-synchronizes the wheel with the clock. Whenever the clock
+// crosses a level's slot boundary, that level's now-current slot cascades
+// into lower levels; whenever it crosses the wheel-span boundary,
+// overflow events within reach migrate into the wheel. Called on every
+// clock advance, it restores the invariant that each level's events all
+// fire before the next level's — the ordering findMin depends on.
+func (s *Scheduler) syncWheel() {
+	if k := uint64(s.now) >> wheelSpanShift; k != s.spanKey {
+		s.spanKey = k
+		s.migrateOverflow()
+	}
+	for l := wheelLevels - 1; l >= 1; l-- {
+		if k := uint64(s.now) >> levelShift(l); k != s.cascadeKey[l] {
+			s.cascadeKey[l] = k
+			s.wheel.cascade(l, int(k)&wheelMask, s.now)
+		}
+	}
+}
+
+// migrateOverflow drains overflow events that are now within the wheel
+// span into the wheel, discarding stale entries as they surface.
+func (s *Scheduler) migrateOverflow() {
+	for len(s.overflow) > 0 {
+		e := s.overflow[0]
+		valid := e.ev.seq == e.seq && e.ev.state == evScheduled
+		if valid && uint64(e.at^s.now)>>wheelSpanShift != 0 {
+			return
+		}
+		s.overflowPop()
+		if valid {
+			s.heapLive--
+			s.wheel.insert(e.ev, s.now)
+		}
+	}
+}
 
 // alloc takes an event off the free list (or allocates one) and arms it.
 func (s *Scheduler) alloc(at Time, fn func()) *event {
@@ -203,76 +363,140 @@ func (s *Scheduler) alloc(at Time, fn func()) *event {
 	return ev
 }
 
-// release recycles a popped event. Bumping gen invalidates every Timer
-// handle that still references this event.
+// release recycles a fired or cancelled event. Bumping gen invalidates
+// every Timer handle that still references this event.
 func (s *Scheduler) release(ev *event) {
 	ev.gen++
 	ev.fn = nil
 	ev.state = evDone
+	ev.where = placeNone
 	s.free = append(s.free, ev)
 }
 
-// peek returns the earliest non-cancelled event without executing it,
-// discarding cancelled heap entries along the way.
-func (s *Scheduler) peek() *event {
-	for len(s.heap) > 0 {
-		if s.heap[0].state == evScheduled {
-			return s.heap[0]
-		}
-		s.release(s.pop())
+// verifyDispatch runs the per-event invariant assertions: the clock never
+// goes backwards, and the live-event accounting covers wheel slots and
+// the overflow heap exactly.
+func (s *Scheduler) verifyDispatch(ev *event) {
+	if ev.at < s.now {
+		panic(fmt.Sprintf(
+			"sim: time went backwards: event seq=%d at=%v fired at now=%v (wheel=%d overflow=%d live=%d fired=%d)",
+			ev.seq, ev.at, s.now, s.wheel.count, s.heapLive, s.live, s.fired))
 	}
-	return nil
+	if s.live != s.wheel.count+s.heapLive {
+		panic(fmt.Sprintf(
+			"sim: live-event accounting drift: live=%d but wheel=%d + overflow=%d at now=%v",
+			s.live, s.wheel.count, s.heapLive, s.now))
+	}
 }
 
-// --- 4-ary min-heap on (at, seq) ---------------------------------------
-//
-// A specialized flat heap avoids container/heap's interface dispatch and
-// per-element index bookkeeping (lazy cancellation never removes from the
-// middle). The wider fan-out halves the tree depth, trading slightly more
-// comparisons per level for fewer cache-missing levels — a win for the
-// event-churn pattern of the simulator, where the heap rarely exceeds a
-// few thousand entries but is pushed/popped millions of times.
+// CheckAccounting walks the wheel slots and the overflow heap and
+// verifies the scheduler's structural invariants: occupancy bitmaps match
+// slot lists, every armed event is addressed where its bookkeeping says,
+// nothing is scheduled before the clock, and the live count equals the
+// events actually stored. It panics with a diagnostic on violation. Like
+// netsim's packet-conservation checker it must run between events; the
+// chaos harness schedules it periodically when invariant checking is
+// armed.
+func (s *Scheduler) CheckAccounting() {
+	inWheel := 0
+	for l := 0; l < wheelLevels; l++ {
+		for idx := 0; idx < wheelSlots; idx++ {
+			head := s.wheel.slots[l][idx]
+			occupied := s.wheel.occ[l][idx>>6]&(1<<(uint(idx)&63)) != 0
+			if occupied != (head != nil) {
+				panic(fmt.Sprintf(
+					"sim: wheel occupancy bitmap drift at level %d slot %d (bit=%v head=%v)",
+					l, idx, occupied, head != nil))
+			}
+			for ev := head; ev != nil; ev = ev.next {
+				if ev.state != evScheduled || ev.where != placeWheel ||
+					int(ev.level) != l || int(ev.slot) != idx {
+					panic(fmt.Sprintf(
+						"sim: misfiled wheel event seq=%d state=%d where=%d level=%d slot=%d found at level %d slot %d",
+						ev.seq, ev.state, ev.where, ev.level, ev.slot, l, idx))
+				}
+				if ev.at < s.now {
+					panic(fmt.Sprintf(
+						"sim: wheel event seq=%d at=%v is before now=%v", ev.seq, ev.at, s.now))
+				}
+				inWheel++
+			}
+		}
+	}
+	if inWheel != s.wheel.count {
+		panic(fmt.Sprintf("sim: wheel count drift: stored %d events, count says %d",
+			inWheel, s.wheel.count))
+	}
+	inHeap := 0
+	for _, e := range s.overflow {
+		if e.ev.seq != e.seq || e.ev.state != evScheduled {
+			continue // stale entry awaiting lazy discard
+		}
+		if e.ev.where != placeHeap {
+			panic(fmt.Sprintf(
+				"sim: overflow entry seq=%d references an event filed at %d", e.seq, e.ev.where))
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: overflow event seq=%d at=%v is before now=%v",
+				e.seq, e.at, s.now))
+		}
+		inHeap++
+	}
+	if inHeap != s.heapLive {
+		panic(fmt.Sprintf("sim: overflow count drift: %d live entries, heapLive says %d",
+			inHeap, s.heapLive))
+	}
+	if s.live != s.wheel.count+s.heapLive {
+		panic(fmt.Sprintf("sim: live-event accounting drift: live=%d but wheel=%d + overflow=%d",
+			s.live, s.wheel.count, s.heapLive))
+	}
+}
 
-func evLess(a, b *event) bool {
+// --- Overflow heap ------------------------------------------------------
+//
+// A 4-ary min-heap on (at, seq) holding the far-future tail: entries are
+// small values so cancellation can simply abandon them — a stale entry
+// (its event re-armed with a new seq, or cancelled and recycled) is
+// recognized and dropped when it reaches the top. The wider fan-out
+// halves the tree depth versus a binary heap; the heap stays tiny (flap
+// schedules, experiment end markers), so these ops are off the hot path.
+
+// heapEntry pins the (at, seq) key an event carried when it was pushed;
+// seq is globally unique per arming, so a mismatch with the event's
+// current seq marks the entry stale.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *event
+}
+
+func entryLess(a, b heapEntry) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-func (s *Scheduler) push(ev *event) {
-	s.heap = append(s.heap, ev)
-	s.siftUp(len(s.heap) - 1)
+func (s *Scheduler) overflowPush(e heapEntry) {
+	s.overflow = append(s.overflow, e)
+	h := s.overflow
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
-func (s *Scheduler) pop() *event {
-	h := s.heap
+func (s *Scheduler) overflowPop() heapEntry {
+	h := s.overflow
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = nil
-	s.heap = h[:n]
-	if n > 1 {
-		s.siftDown(0)
-	}
-	return top
-}
-
-func (s *Scheduler) siftUp(i int) {
-	h := s.heap
-	ev := h[i]
-	for i > 0 {
-		parent := (i - 1) >> 2
-		if !evLess(ev, h[parent]) {
-			break
-		}
-		h[i] = h[parent]
-		i = parent
-	}
-	h[i] = ev
-}
-
-func (s *Scheduler) siftDown(i int) {
-	h := s.heap
-	n := len(h)
-	ev := h[i]
+	h[n] = heapEntry{}
+	s.overflow = h[:n]
+	h = s.overflow
+	i := 0
 	for {
 		first := i<<2 + 1
 		if first >= n {
@@ -284,15 +508,15 @@ func (s *Scheduler) siftDown(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if evLess(h[c], h[min]) {
+			if entryLess(h[c], h[min]) {
 				min = c
 			}
 		}
-		if !evLess(h[min], ev) {
+		if !entryLess(h[min], h[i]) {
 			break
 		}
-		h[i] = h[min]
+		h[i], h[min] = h[min], h[i]
 		i = min
 	}
-	h[i] = ev
+	return top
 }

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Differential test: the timing-wheel scheduler must produce exactly the
+// same dispatch trace as the pre-wheel single-heap scheduler for any
+// stream of schedule / cancel / reset / nested-schedule / advance
+// operations. refSched below is a faithful transcription of the old core
+// — a min-heap on (at, seq) with lazy cancellation — kept test-only as
+// the ordering oracle.
+
+// refEventState mirrors the old lazy-cancellation lifecycle.
+type refEventState uint8
+
+const (
+	refScheduled refEventState = iota
+	refCancelled
+	refDone
+)
+
+type refEvent struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	state refEventState
+}
+
+// refSched is the old scheduler: one binary min-heap, lazy cancellation,
+// FIFO seq ordering for simultaneous events.
+type refSched struct {
+	heap []*refEvent
+	now  Time
+	seq  uint64
+	live int
+}
+
+func (s *refSched) After(d time.Duration, fn func()) *refEvent {
+	if d < 0 {
+		d = 0
+	}
+	ev := &refEvent{at: s.now.Add(d), seq: s.seq, fn: fn}
+	s.seq++
+	s.push(ev)
+	s.live++
+	return ev
+}
+
+func (s *refSched) stop(ev *refEvent) bool {
+	if ev == nil || ev.state != refScheduled {
+		return false
+	}
+	ev.state = refCancelled
+	ev.fn = nil
+	s.live--
+	return true
+}
+
+// reset mirrors Timer.Reset as a Stop+After pair reusing the callback: it
+// is the definitional equivalence the differential trace then verifies.
+func (s *refSched) reset(ev *refEvent, d time.Duration, fn func()) (*refEvent, bool) {
+	if ev == nil || ev.state != refScheduled {
+		return ev, false
+	}
+	s.stop(ev)
+	return s.After(d, fn), true
+}
+
+func (s *refSched) peek() *refEvent {
+	for len(s.heap) > 0 {
+		if s.heap[0].state == refScheduled {
+			return s.heap[0]
+		}
+		s.pop()
+	}
+	return nil
+}
+
+func (s *refSched) step() {
+	ev := s.pop()
+	s.now = ev.at
+	s.live--
+	fn := ev.fn
+	ev.state = refDone
+	ev.fn = nil
+	fn()
+}
+
+func (s *refSched) runUntil(t Time) {
+	for {
+		ev := s.peek()
+		if ev == nil {
+			break
+		}
+		if ev.at > t {
+			s.now = t
+			return
+		}
+		s.step()
+	}
+	if s.now < t && t != End && s.live == 0 {
+		s.now = t
+	}
+}
+
+func (s *refSched) run() { s.runUntil(End) }
+
+func refLess(a, b *refEvent) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (s *refSched) push(ev *refEvent) {
+	s.heap = append(s.heap, ev)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !refLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *refSched) pop() *refEvent {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	h = s.heap
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && refLess(h[c+1], h[c]) {
+			c++
+		}
+		if !refLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}
+
+// --- Differential driver ------------------------------------------------
+
+type traceEntry struct {
+	id int
+	at Time
+}
+
+// diffProgram decodes a byte stream into a deterministic operation
+// program and replays it against both schedulers, comparing dispatch
+// traces and every Stop/Reset verdict.
+func runDifferential(t *testing.T, data []byte) {
+	t.Helper()
+	const maxOps = 2048
+
+	wheelSched := NewScheduler()
+	ref := &refSched{}
+
+	var wheelTrace, refTrace []traceEntry
+
+	type timerPair struct {
+		wt  Timer
+		rt  *refEvent
+		rfn func()
+	}
+	var timers []timerPair
+
+	pos := 0
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+	next16 := func() (uint16, bool) {
+		hi, ok := next()
+		if !ok {
+			return 0, false
+		}
+		lo, ok := next()
+		if !ok {
+			return uint16(hi), true
+		}
+		return uint16(hi)<<8 | uint16(lo), true
+	}
+
+	nextID := 0
+	// schedule registers one callback pair appending (id, now) on each
+	// side; when nest is positive the callback also schedules a child.
+	var schedule func(d, nest time.Duration) timerPair
+	schedule = func(d, nest time.Duration) timerPair {
+		id := nextID
+		nextID++
+		var rfn func()
+		wfn := func() {
+			wheelTrace = append(wheelTrace, traceEntry{id, wheelSched.Now()})
+			if nest > 0 {
+				schedule(nest, 0)
+			}
+		}
+		// The paired ref callback must replicate the wheel callback's
+		// scheduling side effects against the ref scheduler. schedule()
+		// itself registers on both sides, so only one side may call it;
+		// the ref callback mirrors the trace append alone and relies on
+		// the wheel callback running at the same dispatch position to
+		// have created the child pair — which only holds if traces
+		// agree, the property under test. To avoid that circularity the
+		// child is scheduled independently on each side.
+		rfn = func() {
+			refTrace = append(refTrace, traceEntry{id, ref.now})
+			if nest > 0 {
+				childID := id // child ids are derived, not allocated
+				_ = childID
+				cid := -id - 1000000 // stable derived id for the nested child
+				ref.After(nest, func() {
+					refTrace = append(refTrace, traceEntry{cid, ref.now})
+				})
+			}
+		}
+		if nest > 0 {
+			// Re-bind the wheel callback so its child uses the same
+			// derived id as the ref child.
+			cid := -id - 1000000
+			wfn = func() {
+				wheelTrace = append(wheelTrace, traceEntry{id, wheelSched.Now()})
+				wheelSched.After(nest, func() {
+					wheelTrace = append(wheelTrace, traceEntry{cid, wheelSched.Now()})
+				})
+			}
+		}
+		p := timerPair{wt: wheelSched.After(d, wfn), rt: ref.After(d, rfn), rfn: rfn}
+		timers = append(timers, p)
+		return p
+	}
+
+	for op := 0; op < maxOps; op++ {
+		b, ok := next()
+		if !ok {
+			break
+		}
+		switch b % 6 {
+		case 0: // near-future schedule
+			us, ok := next16()
+			if !ok {
+				break
+			}
+			schedule(time.Duration(us)*time.Microsecond, 0)
+		case 1: // stop
+			idx, ok := next()
+			if !ok || len(timers) == 0 {
+				break
+			}
+			p := &timers[int(idx)%len(timers)]
+			wOK := p.wt.Stop()
+			rOK := ref.stop(p.rt)
+			if wOK != rOK {
+				t.Fatalf("op %d: Stop verdicts diverge: wheel=%v ref=%v", op, wOK, rOK)
+			}
+		case 2: // reset
+			idx, ok := next()
+			if !ok || len(timers) == 0 {
+				break
+			}
+			us, ok := next16()
+			if !ok {
+				break
+			}
+			p := &timers[int(idx)%len(timers)]
+			d := time.Duration(us) * time.Microsecond
+			wOK := p.wt.Reset(d)
+			var rOK bool
+			p.rt, rOK = ref.reset(p.rt, d, p.rfn)
+			if wOK != rOK {
+				t.Fatalf("op %d: Reset verdicts diverge: wheel=%v ref=%v", op, wOK, rOK)
+			}
+		case 3: // nested schedule
+			us, ok := next16()
+			if !ok {
+				break
+			}
+			us2, ok := next16()
+			if !ok {
+				break
+			}
+			schedule(time.Duration(us)*time.Microsecond,
+				time.Duration(us2)*time.Microsecond+time.Nanosecond)
+		case 4: // advance both clocks by the same horizon
+			us, ok := next16()
+			if !ok {
+				break
+			}
+			horizon := wheelSched.Now().Add(time.Duration(us) * time.Microsecond)
+			wheelSched.RunUntil(horizon)
+			ref.runUntil(horizon)
+			if wheelSched.Now() != ref.now {
+				t.Fatalf("op %d: clocks diverge after RunUntil(%v): wheel=%v ref=%v",
+					op, horizon, wheelSched.Now(), ref.now)
+			}
+		case 5: // far-future schedule (exercises the overflow heap)
+			secs, ok := next()
+			if !ok {
+				break
+			}
+			schedule(time.Duration(secs)*time.Second, 0)
+		}
+	}
+
+	wheelSched.Run()
+	ref.run()
+
+	if len(wheelTrace) != len(refTrace) {
+		t.Fatalf("trace lengths diverge: wheel=%d ref=%d", len(wheelTrace), len(refTrace))
+	}
+	for i := range wheelTrace {
+		if wheelTrace[i] != refTrace[i] {
+			t.Fatalf("traces diverge at %d: wheel=%+v ref=%+v", i, wheelTrace[i], refTrace[i])
+		}
+	}
+	if wheelSched.Len() != ref.live {
+		t.Fatalf("live counts diverge after drain: wheel=%d ref=%d", wheelSched.Len(), ref.live)
+	}
+}
+
+// FuzzScheduler feeds random operation streams through the wheel and the
+// reference heap scheduler in lockstep; any (time, seq) dispatch
+// divergence, mismatched Stop/Reset verdict, or clock drift fails.
+func FuzzScheduler(f *testing.F) {
+	f.Add([]byte{0, 0, 10})
+	f.Add([]byte{0, 0, 10, 0, 0, 10, 1, 0, 4, 0, 200})
+	f.Add([]byte{2, 0, 0, 50, 3, 0, 5, 0, 3, 5, 200, 4, 255, 255})
+	f.Add([]byte{5, 30, 0, 1, 0, 4, 255, 255, 2, 0, 0, 1, 4, 255, 255, 4, 255, 255})
+	f.Add([]byte{3, 0, 0, 0, 0, 3, 0, 0, 0, 0, 4, 0, 0, 1, 1, 2, 2, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runDifferential(t, data)
+	})
+}
+
+// TestSchedulerDifferentialRandom drives the same lockstep comparison
+// with seeded pseudo-random programs so plain `go test` covers the
+// differential property without the fuzzer.
+func TestSchedulerDifferentialRandom(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := NewRand(seed)
+		n := 32 + rng.Intn(480)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		runDifferential(t, data)
+	}
+}
+
+// TestSchedulerDifferentialInvariants reruns a slice of the random
+// programs with invariant checks armed, so the accounting assertions in
+// dispatch cover the differential workload too.
+func TestSchedulerDifferentialInvariants(t *testing.T) {
+	SetInvariantChecks(true)
+	defer SetInvariantChecks(false)
+	for seed := int64(1000); seed < 1050; seed++ {
+		rng := NewRand(seed)
+		data := make([]byte, 256)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		runDifferential(t, data)
+	}
+}

@@ -818,14 +818,19 @@ func (c *Conn) rto() time.Duration {
 }
 
 // armRTO (re)starts the retransmission timer while data is outstanding
-// and stops it otherwise.
+// and stops it otherwise. The happy path — a still-pending timer pushed
+// out by an ACK — re-slots the event in place via Reset instead of
+// cancelling and rescheduling, which this path does once per ACK.
 func (c *Conn) armRTO() {
-	c.rtoTimer.Stop()
 	if c.sndUna == c.sndNxt {
+		c.rtoTimer.Stop()
 		c.rtoTimer = sim.Timer{}
 		return
 	}
-	c.rtoTimer = c.sched.After(c.rto(), c.rtoFn)
+	d := c.rto()
+	if !c.rtoTimer.Reset(d) {
+		c.rtoTimer = c.sched.After(d, c.rtoFn)
+	}
 }
 
 func (c *Conn) onRTO() {
@@ -903,7 +908,9 @@ func (c *Conn) handleData(pkt *netsim.Packet) {
 	c.pendingEcho = pkt.SentAt
 	c.pendingCE = pkt.CE
 	c.pendingProbe = pkt.Probe
-	c.ackTimer = c.sched.After(c.cfg.DelayedAck, c.ackFlushFn)
+	if !c.ackTimer.Reset(c.cfg.DelayedAck) {
+		c.ackTimer = c.sched.After(c.cfg.DelayedAck, c.ackFlushFn)
+	}
 }
 
 // flushPendingAck emits a deferred ACK, if any.
