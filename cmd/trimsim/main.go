@@ -37,6 +37,8 @@ func run(args []string) error {
 		csvDir = fs.String("csv", "", "directory for CSV time-series export (fig4/fig6/fig9/fig10)")
 		aqmSel = fs.String("aqm", "", "switch queue discipline override for fig4/fig6/resilience ("+
 			strings.Join(aqm.Names(), ", ")+"; default: each scenario's drop-tail)")
+		shards = fs.Int("shards", 1, "parallel simulation shards per run (1 = sequential; "+
+			"results are byte-identical at any count; more than GOMAXPROCS only adds overhead)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,12 +49,15 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return fmt.Errorf("create csv dir: %w", err)
 		}
 	}
-	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel}
+	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel, Shards: *shards}
 	switch {
 	case *list:
 		fmt.Println(strings.Join(experiment.IDs(), "\n"))

@@ -53,6 +53,13 @@ type Scenario struct {
 	Jitter       time.Duration
 
 	Horizon time.Duration
+
+	// Shards > 1 runs the scenario on a sharded PDES group (senders on
+	// their own shards, the faulted bottleneck and receiver on shard 0).
+	// The shadow executor sees the identical event order either way, so
+	// divergence results are shard-count independent. GenScenario leaves
+	// it zero; sweeps set it to prove sharding under the oracle.
+	Shards int
 }
 
 // Describe summarizes the scenario for reports.
@@ -200,7 +207,12 @@ func RunScenario(sc Scenario) (*Result, error) {
 // runScenarioWith runs the scenario with a caller-supplied shadow
 // (tests use it to prove a tampered oracle is detected).
 func runScenarioWith(sc Scenario, shadow *Shadow) (*Result, error) {
+	var group *sim.ShardGroup
 	sched := sim.NewScheduler()
+	if sc.Shards > 1 {
+		group = sim.NewShardGroup(sc.Shards)
+		sched = group.Shard(0)
+	}
 	net := netsim.NewNetwork(sched)
 	rng := sim.NewRand(sc.Seed)
 
@@ -214,6 +226,32 @@ func runScenarioWith(sc Scenario, shadow *Shadow) (*Result, error) {
 	hr := net.AddHost("r")
 	net.Connect(hs, sw, link)
 	fwd, rev := net.Connect(sw, hr, link)
+	var hx *netsim.Host
+	if len(sc.CrossTrains) > 0 {
+		hx = net.AddHost("x")
+		net.Connect(hx, sw, link)
+	}
+	if group != nil {
+		// Senders own their shards; the switch, receiver, and hence every
+		// faulted pipe (sw↔hr) stay together on shard 0. The cut pipes
+		// are the sender uplinks, whose delay is the lookahead.
+		crossShard := 1
+		if sc.Shards > 2 {
+			crossShard = 2
+		}
+		if err := net.Shard(group, func(n netsim.Node) int {
+			switch {
+			case n.ID() == hs.ID():
+				return 1
+			case hx != nil && n.ID() == hx.ID():
+				return crossShard
+			default:
+				return 0
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	if sc.Loss.Enabled() {
 		fwd.InjectGilbertElliott(sc.Loss, rng)
@@ -250,7 +288,7 @@ func runScenarioWith(sc Scenario, shadow *Shadow) (*Result, error) {
 	schedule := func(c *tcp.Conn, trains []Train, counted bool) error {
 		for _, tr := range trains {
 			bytes := tr.Bytes
-			if _, err := sched.At(sim.At(tr.Start), func() {
+			if _, err := c.Scheduler().At(sim.At(tr.Start), func() {
 				c.SendTrain(bytes, func(tcp.TrainResult) {
 					if counted {
 						res.TrainsDone++
@@ -266,9 +304,7 @@ func runScenarioWith(sc Scenario, shadow *Shadow) (*Result, error) {
 		return nil, err
 	}
 
-	if len(sc.CrossTrains) > 0 {
-		hx := net.AddHost("x")
-		net.Connect(hx, sw, link)
+	if hx != nil {
 		cross, err := tcp.NewConn(tcp.Config{
 			Sender:   tcp.NewStack(net, hx),
 			Receiver: recvStack,
@@ -284,7 +320,11 @@ func runScenarioWith(sc Scenario, shadow *Shadow) (*Result, error) {
 		}
 	}
 
-	sched.RunUntil(sim.At(sc.Horizon))
+	if group != nil {
+		group.RunUntil(sim.At(sc.Horizon))
+	} else {
+		sched.RunUntil(sim.At(sc.Horizon))
+	}
 
 	res.Divergences = shadow.Finish()
 	res.Total = shadow.Total()

@@ -66,8 +66,8 @@ func RunConcurrency(proto Protocol, lptCounts []int, maxSPT int, opts Options) (
 			keys = append(keys, cellKey{lpts, spts})
 		}
 	}
-	cells, err := RunTrials(len(keys), func(i int) (*ConcurrencyCell, error) {
-		return runConcurrencyCell(proto, keys[i].lpts, keys[i].spts, opts.seed())
+	cells, err := RunTrialsWorkers(len(keys), trialWorkers(opts.shards()), func(i int) (*ConcurrencyCell, error) {
+		return runConcurrencyCell(proto, keys[i].lpts, keys[i].spts, opts.seed(), opts.shards())
 	})
 	if err != nil {
 		return nil, err
@@ -79,10 +79,14 @@ func RunConcurrency(proto Protocol, lptCounts []int, maxSPT int, opts Options) (
 	return out, nil
 }
 
-func runConcurrencyCell(proto Protocol, lpts, spts int, seed int64) (*ConcurrencyCell, error) {
+func runConcurrencyCell(proto Protocol, lpts, spts int, seed int64, shards int) (*ConcurrencyCell, error) {
 	rng := sim.NewRand(seed + int64(lpts)*1000 + int64(spts))
-	sched := sim.NewScheduler()
+	env := newSimEnv(shards)
+	sched := env.sched
 	star := topology.NewStar(sched, lpts+spts, topology.DefaultStarLink(100))
+	if err := env.partition(star.Shard); err != nil {
+		return nil, err
+	}
 	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
 		Senders:  star.Senders,
 		FrontEnd: star.FrontEnd,
@@ -111,25 +115,26 @@ func runConcurrencyCell(proto Protocol, lpts, spts int, seed int64) (*Concurrenc
 			return nil, err
 		}
 		// The measured SPT burst at 0.3 s.
-		sptServer := httpapp.NewServer(sched, fleet.Conns[i], concSPTLabel, spt)
+		sptServer := httpapp.NewServer(fleet.Conns[i].Scheduler(), fleet.Conns[i], concSPTLabel, spt)
 		if err := sptServer.ScheduleResponse(sim.At(concSPTStart), concSPTPackets*tcp.DefaultMSS); err != nil {
 			return nil, err
 		}
 	}
 	// Stop as soon as every measured SPT completed; the background flows
-	// would otherwise run to the horizon for nothing.
+	// would otherwise run to the horizon for nothing. The watch is a sync
+	// event: it reads every shard's collector bucket.
 	var watch func()
 	watch = func() {
 		if spt.Pending() == 0 {
-			sched.Stop()
+			env.stop()
 			return
 		}
-		sched.After(10*time.Millisecond, watch)
+		env.syncAfter(sched, 10*time.Millisecond, watch)
 	}
-	if _, err := sched.At(sim.At(concSPTStart), watch); err != nil {
+	if err := env.syncAt(sched, sim.At(concSPTStart), watch); err != nil {
 		return nil, err
 	}
-	sched.RunUntil(sim.At(concHorizon))
+	env.runUntil(sim.At(concHorizon))
 
 	var d metrics.Distribution
 	for _, r := range spt.Responses() {

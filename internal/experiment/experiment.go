@@ -122,6 +122,21 @@ type Options struct {
 	// scenario's default drop-tail switch, preserving historical outputs
 	// byte for byte.
 	AQM string
+	// Shards partitions each simulated network into that many PDES
+	// shards run under conservative synchronization (0 or 1 keeps the
+	// sequential scheduler). Results are byte-identical at any shard
+	// count; only wall-clock time changes. Runners that fan trials out
+	// in parallel divide their worker pool by Shards so shard goroutines
+	// never oversubscribe GOMAXPROCS.
+	Shards int
+}
+
+// shards normalizes the Shards option (≤1 → 1).
+func (o Options) shards() int {
+	if o.Shards <= 1 {
+		return 1
+	}
+	return o.Shards
 }
 
 // aqmOverride resolves the AQM option; ok is false when the option is

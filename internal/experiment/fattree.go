@@ -84,7 +84,7 @@ func RunFatTree(protos []Protocol, podCounts []int, opts Options) (*FatTreeResul
 	out := &FatTreeResult{}
 	for _, pods := range podCounts {
 		for _, proto := range protos {
-			row, err := runFatTreeCell(proto, pods, opts.seed())
+			row, err := runFatTreeCell(proto, pods, opts.seed(), opts.shards())
 			if err != nil {
 				return nil, err
 			}
@@ -94,9 +94,10 @@ func RunFatTree(protos []Protocol, podCounts []int, opts Options) (*FatTreeResul
 	return out, nil
 }
 
-func runFatTreeCell(proto Protocol, pods int, seed int64) (*FatTreeRow, error) {
+func runFatTreeCell(proto Protocol, pods int, seed int64, shards int) (*FatTreeRow, error) {
 	rng := sim.NewRand(seed + int64(pods)*101)
-	sched := sim.NewScheduler()
+	env := newSimEnv(shards)
+	sched := env.sched
 	link := netsim.LinkConfig{
 		Rate:  10 * netsim.Gbps,
 		Delay: ftLinkDelay,
@@ -107,6 +108,9 @@ func runFatTreeCell(proto Protocol, pods int, seed int64) (*FatTreeRow, error) {
 	}
 	ft, err := topology.NewFatTree(sched, pods, link)
 	if err != nil {
+		return nil, err
+	}
+	if err := env.partition(ft.Shard); err != nil {
 		return nil, err
 	}
 	n := len(ft.Hosts)
@@ -145,7 +149,7 @@ func runFatTreeCell(proto Protocol, pods int, seed int64) (*FatTreeRow, error) {
 			return nil, err
 		}
 		conns = append(conns, conn)
-		srv := httpapp.NewServer(sched, conn, fmt.Sprintf("h%d", i), collector)
+		srv := httpapp.NewServer(conn.Scheduler(), conn, fmt.Sprintf("h%d", i), collector)
 
 		// Small objects from 0.1 s, then the big remainder at 0.5 s.
 		sent := 0
@@ -162,7 +166,7 @@ func runFatTreeCell(proto Protocol, pods int, seed int64) (*FatTreeRow, error) {
 		// (release at 0.5 s → last byte ACKed) is the tail-defining
 		// sample. done tracks big objects so the run can stop early.
 		remainder := ftTotalBytes - sent
-		big := httpapp.NewServer(sched, conn, "big", bigC)
+		big := httpapp.NewServer(conn.Scheduler(), conn, "big", bigC)
 		if err := big.ScheduleResponse(sim.At(ftBigStart), remainder); err != nil {
 			return nil, err
 		}
@@ -171,15 +175,15 @@ func runFatTreeCell(proto Protocol, pods int, seed int64) (*FatTreeRow, error) {
 	var watch func()
 	watch = func() {
 		if bigC.Pending() == 0 && collector.Pending() == 0 {
-			sched.Stop()
+			env.stop()
 			return
 		}
-		sched.After(10*time.Millisecond, watch)
+		env.syncAfter(sched, 10*time.Millisecond, watch)
 	}
-	if _, err := sched.At(sim.At(ftBigStart), watch); err != nil {
+	if err := env.syncAt(sched, sim.At(ftBigStart), watch); err != nil {
 		return nil, err
 	}
-	sched.RunUntil(sim.At(ftHorizon))
+	env.runUntil(sim.At(ftHorizon))
 
 	var cts metrics.Distribution
 	for _, r := range collector.Responses() {

@@ -93,7 +93,8 @@ func RunImpairment(proto Protocol, opts Options) (*ImpairmentResult, error) {
 func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts Options) (*ImpairmentResult, error) {
 	proto := Protocol(label)
 	rng := sim.NewRand(opts.seed())
-	sched := sim.NewScheduler()
+	env := newSimEnv(opts.shards())
+	sched := env.sched
 	link := topology.DefaultStarLink(impairmentBuffer)
 	if aqmCfg, ok, err := opts.aqmOverride(); err != nil {
 		return nil, err
@@ -101,6 +102,9 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 		link.Queue.AQM = aqmCfg
 	}
 	star := topology.NewStar(sched, impairmentServers, link)
+	if err := env.partition(star.Shard); err != nil {
+		return nil, err
+	}
 
 	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
 		Senders:  star.Senders,
@@ -116,13 +120,6 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 		return nil, err
 	}
 
-	var lastDone sim.Time
-	markDone := func(tcp.TrainResult) {
-		if sched.Now() > lastDone {
-			lastDone = sched.Now()
-		}
-	}
-
 	// 200 small responses per server from 0.1 s.
 	for _, srv := range fleet.Servers {
 		trains := workload.ScheduleCount(rng, sim.At(impairmentRespStart), impairmentResponses,
@@ -133,16 +130,20 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 		}
 	}
 
-	// Window snapshot + long train at 0.5 s.
+	// Window snapshot + long train at 0.5 s, on each connection's own
+	// shard (the snapshot reads sender-side window state). Completion
+	// instants land in per-connection slots so callbacks running in
+	// parallel window segments never share a word.
 	res := &ImpairmentResult{Protocol: proto, CwndAtLPTStart: make([]float64, impairmentServers)}
 	lptDone := make([]time.Duration, impairmentServers)
+	lptDoneAt := make([]sim.Time, impairmentServers)
 	for i, conn := range fleet.Conns {
 		i, conn := i, conn
-		if _, err := sched.At(sim.At(impairmentLPTStart), func() {
+		if _, err := conn.Scheduler().At(sim.At(impairmentLPTStart), func() {
 			res.CwndAtLPTStart[i] = conn.Cwnd()
 			conn.SendTrain(impairmentLPTBytes, func(r tcp.TrainResult) {
 				lptDone[i] = r.CompletionTime()
-				markDone(r)
+				lptDoneAt[i] = r.Completed
 			})
 		}); err != nil {
 			return nil, err
@@ -150,19 +151,22 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	}
 
 	// Traces: connection 5's goodput and window, aggregate goodput,
-	// bottleneck queue.
+	// bottleneck queue. Each sampler lives on the shard owning the state
+	// it reads: delivered bytes and the bottleneck queue are front-end /
+	// switch state on shard 0 (sched), the window is sender state on the
+	// traced connection's shard.
 	traced := fleet.Conns[impairmentServers-1]
 	res.TracedThroughput = metrics.BinnedRate(sched, 0, sim.At(impairmentHorizon),
 		10*time.Millisecond, func() int64 { return traced.DeliveredBytes() })
 	res.TotalThroughput = metrics.BinnedRate(sched, 0, sim.At(impairmentHorizon),
 		10*time.Millisecond, func() int64 { return fleet.TotalDelivered() })
-	res.TracedCwnd = metrics.Sample(sched, 0, sim.At(impairmentHorizon),
+	res.TracedCwnd = metrics.Sample(traced.Scheduler(), 0, sim.At(impairmentHorizon),
 		impairmentSampleStep, func() float64 { return traced.Cwnd() })
 	queue := star.Bottleneck.Queue()
 	queueSeries := metrics.Sample(sched, 0, sim.At(impairmentHorizon),
 		100*time.Microsecond, func() float64 { return float64(queue.Len()) })
 
-	sched.RunUntil(sim.At(impairmentHorizon))
+	env.runUntil(sim.At(impairmentHorizon))
 
 	res.TimeoutsPerConn = make([]int, impairmentServers)
 	for i, conn := range fleet.Conns {
@@ -178,8 +182,10 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 			res.AllDoneBy = r.Completed
 		}
 	}
-	if lastDone > res.AllDoneBy {
-		res.AllDoneBy = lastDone
+	for _, at := range lptDoneAt {
+		if at > res.AllDoneBy {
+			res.AllDoneBy = at
+		}
 	}
 	// Convert byte rates to Mbps for reporting.
 	scaleSeries(res.TracedThroughput, 1e-6)

@@ -86,8 +86,8 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 			cells = append(cells, cell{p, tors})
 		}
 	}
-	rows, err := RunTrials(len(cells), func(i int) (*LargeScaleRow, error) {
-		return runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed())
+	rows, err := RunTrialsWorkers(len(cells), trialWorkers(opts.shards()), func(i int) (*LargeScaleRow, error) {
+		return runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed(), opts.shards())
 	})
 	if err != nil {
 		return nil, err
@@ -99,11 +99,11 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 	return out, nil
 }
 
-func runLargeScaleCell(proto Protocol, tors, reps int, seed int64) (*LargeScaleRow, error) {
+func runLargeScaleCell(proto Protocol, tors, reps int, seed int64, shards int) (*LargeScaleRow, error) {
 	var acts metrics.Distribution
 	row := &LargeScaleRow{Protocol: proto, ToRs: tors, Servers: tors * 42}
 	for rep := 0; rep < reps; rep++ {
-		if err := runLargeScaleOnce(proto, tors, seed+int64(rep)*7919+int64(tors), &acts, row); err != nil {
+		if err := runLargeScaleOnce(proto, tors, seed+int64(rep)*7919+int64(tors), shards, &acts, row); err != nil {
 			return nil, err
 		}
 	}
@@ -112,10 +112,14 @@ func runLargeScaleCell(proto Protocol, tors, reps int, seed int64) (*LargeScaleR
 	return row, nil
 }
 
-func runLargeScaleOnce(proto Protocol, tors int, seed int64, acts *metrics.Distribution, row *LargeScaleRow) error {
+func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, acts *metrics.Distribution, row *LargeScaleRow) error {
 	rng := sim.NewRand(seed)
-	sched := sim.NewScheduler()
+	env := newSimEnv(shards)
+	sched := env.sched
 	tree := topology.NewTwoLevelTree(sched, topology.TwoLevelTreeConfig{ToRs: tors})
+	if err := env.partition(tree.Shard); err != nil {
+		return err
+	}
 	fleet, err := httpapp.NewFleet(tree.Net, httpapp.FleetConfig{
 		Senders:  tree.AllServers(),
 		FrontEnd: tree.FrontEnd,
@@ -159,26 +163,27 @@ func runLargeScaleOnce(proto Protocol, tors int, seed int64, acts *metrics.Distr
 					offset = lsWindow
 				}
 			}
-			measured := httpapp.NewServer(sched, conn, "spt", spt)
+			measured := httpapp.NewServer(conn.Scheduler(), conn, "spt", spt)
 			if err := measured.ScheduleResponse(sim.At(lsStart+offset), sizes.Sample(rng)); err != nil {
 				return err
 			}
 			sptConns = append(sptConns, conn)
 		}
 	}
-	// Stop once every SPT completed.
+	// Stop once every SPT completed (a sync event: it reads every
+	// shard's collector bucket).
 	var watch func()
 	watch = func() {
 		if spt.Pending() == 0 {
-			sched.Stop()
+			env.stop()
 			return
 		}
-		sched.After(10*time.Millisecond, watch)
+		env.syncAfter(sched, 10*time.Millisecond, watch)
 	}
-	if _, err := sched.At(sim.At(lsStart+lsWindow), watch); err != nil {
+	if err := env.syncAt(sched, sim.At(lsStart+lsWindow), watch); err != nil {
 		return err
 	}
-	sched.RunUntil(sim.At(lsHorizon))
+	env.runUntil(sim.At(lsHorizon))
 
 	for _, r := range spt.Responses() {
 		acts.AddDuration(r.CompletionTime())

@@ -148,8 +148,8 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 	if err != nil {
 		return nil, err
 	}
-	rows, err := RunSeededTrials(len(cells), opts.seed(), func(i int, seed int64) (*ResilienceRow, error) {
-		return runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet)
+	rows, err := RunSeededTrialsWorkers(len(cells), opts.seed(), trialWorkers(opts.shards()), func(i int, seed int64) (*ResilienceRow, error) {
+		return runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet, opts.shards())
 	})
 	if err != nil {
 		return nil, err
@@ -173,9 +173,10 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 	return out, nil
 }
 
-func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm.Config, aqmSet bool) (*ResilienceRow, error) {
+func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm.Config, aqmSet bool, shards int) (*ResilienceRow, error) {
 	rng := sim.NewRand(seed)
-	sched := sim.NewScheduler()
+	env := newSimEnv(shards)
+	sched := env.sched
 	queueCfg := netsim.QueueConfig{CapPackets: 100, ECNThresholdPackets: 20}
 	if aqmSet {
 		queueCfg.AQM = aqmCfg
@@ -188,6 +189,14 @@ func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm
 		Delay: 50 * time.Microsecond,
 		Queue: queueCfg,
 	})
+	// The whole fault matrix injects on the bottleneck (switch →
+	// front-end), which the star's shard plan keeps on shard 0 together
+	// with both its endpoints — so every injector, including flaps, stays
+	// shard-internal and the fault-arming events below run on the pipe's
+	// own shard.
+	if err := env.partition(star.Shard); err != nil {
+		return nil, err
+	}
 	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
 		Senders:  star.Senders,
 		FrontEnd: star.FrontEnd,
@@ -257,7 +266,7 @@ func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm
 	}
 
 	star.Net.ScheduleInvariantChecks(rsCheckEvery)
-	sched.RunUntil(sim.At(rsDeadline))
+	env.runUntil(sim.At(rsDeadline))
 	star.Net.CheckInvariants()
 
 	row := &ResilienceRow{

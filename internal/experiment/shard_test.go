@@ -1,0 +1,179 @@
+package experiment
+
+// Differential determinism proof at the experiment layer: every figure
+// runner must render byte-identical tables at any shard count, because
+// sharding is a pure relabeling of the same event total order. These
+// tests sweep shard counts over the paper scenarios (including the
+// fault-injection matrix, whose GE loss, flaps, reordering, and
+// duplication exercise the fault layer under parallel windows) and
+// require the rendered output — every completion time, timeout count,
+// queue statistic, and throughput bin — to match the sequential run
+// exactly.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tcptrim/internal/conformance"
+)
+
+// shardSweep is the shard-count axis every differential test sweeps.
+// 1 is the sequential baseline; 8 exceeds this star's sender count, so
+// round-robin placement leaves some shards sparse.
+var shardSweep = []int{1, 2, 4, 8}
+
+// renderShardSweep renders one experiment at every shard count and
+// fails the test on the first byte difference against shards=1.
+func renderShardSweep(t *testing.T, name string, render func(opts Options) ([]byte, error)) {
+	t.Helper()
+	var base []byte
+	for _, k := range shardSweep {
+		out, err := render(Options{Seed: 7, Shards: k})
+		if err != nil {
+			t.Fatalf("%s shards=%d: %v", name, k, err)
+		}
+		if k == 1 {
+			base = out
+			continue
+		}
+		if !bytes.Equal(base, out) {
+			t.Errorf("%s diverges at shards=%d:\n-- shards=1 --\n%s\n-- shards=%d --\n%s",
+				name, k, base, k, out)
+		}
+	}
+}
+
+func TestImpairmentShardInvariant(t *testing.T) {
+	renderShardSweep(t, "impairment", func(opts Options) ([]byte, error) {
+		res, err := RunImpairment(ProtoTRIM, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := res.WriteTables(&buf); err != nil {
+			return nil, err
+		}
+		// The rendered table omits the traced series; fold their points in
+		// so a sampler landing on the wrong shard cannot hide.
+		fmt.Fprintf(&buf, "cwnd=%v goodput=%v\n",
+			res.TracedCwnd.Points(), res.TracedThroughput.Points())
+		return buf.Bytes(), nil
+	})
+}
+
+func TestConcurrencyShardInvariant(t *testing.T) {
+	renderShardSweep(t, "concurrency", func(opts Options) ([]byte, error) {
+		res, err := RunConcurrency(ProtoTCP, []int{2}, 4, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	})
+}
+
+func TestLargeScaleShardInvariant(t *testing.T) {
+	renderShardSweep(t, "largescale", func(opts Options) ([]byte, error) {
+		opts.Reps = 1
+		res, err := RunLargeScale([]Protocol{ProtoTRIM}, []int{3}, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	})
+}
+
+func TestFatTreeShardInvariant(t *testing.T) {
+	renderShardSweep(t, "fattree", func(opts Options) ([]byte, error) {
+		res, err := RunFatTree([]Protocol{ProtoTRIM}, []int{4}, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	})
+}
+
+// TestResilienceMatrixShardInvariant is the fault-scenario property test:
+// the resilience matrix (GE bursty loss, a link flap, bounded reordering,
+// and duplication on the bottleneck, invariant checker armed) must
+// produce identical rows at every shard count.
+func TestResilienceMatrixShardInvariant(t *testing.T) {
+	renderShardSweep(t, "resilience", func(opts Options) ([]byte, error) {
+		// [:3] spans clean, GE+reorder+dup (mild), and GE+flap+reorder+dup
+		// (moderate) — every fault class the matrix injects.
+		res, err := RunResilience([]Protocol{ProtoTRIM}, DefaultFaultIntensities[:3], opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	})
+}
+
+func TestARCTShardInvariant(t *testing.T) {
+	renderShardSweep(t, "arct", func(opts Options) ([]byte, error) {
+		res, err := RunARCT([]Protocol{ProtoTRIM}, []int{64 << 10}, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	})
+}
+
+// TestConformanceShardedSweep shadow-executes the oracle's randomized
+// scenario matrix under sharding: every scenario must report zero
+// divergences and the identical activity counters at every shard count —
+// the TRIM policy cannot tell how many shards carried its packets.
+func TestConformanceShardedSweep(t *testing.T) {
+	const seeds = 64
+	for i := 0; i < seeds; i++ {
+		seed := SplitSeed(11, i)
+		var base *conformance.Result
+		for _, k := range shardSweep {
+			sc := conformance.GenScenario(seed)
+			sc.Shards = k
+			res, err := conformance.RunScenario(sc)
+			if err != nil {
+				t.Fatalf("seed %d shards=%d: %v", seed, k, err)
+			}
+			if res.Total != 0 {
+				t.Fatalf("seed %d shards=%d: %d divergences, first: %v",
+					seed, k, res.Total, res.Divergences[0])
+			}
+			if k == 1 {
+				base = res
+				continue
+			}
+			if res.Hooks != base.Hooks || res.ProbeRounds != base.ProbeRounds ||
+				res.ProbeTimeouts != base.ProbeTimeouts ||
+				res.QueueReductions != base.QueueReductions ||
+				res.Timeouts != base.Timeouts || res.TrainsDone != base.TrainsDone {
+				t.Fatalf("seed %d shards=%d: counters differ from sequential run:\n%+v\nvs\n%+v",
+					seed, k, res, base)
+			}
+		}
+	}
+}
+
+func TestShardsOptionNormalization(t *testing.T) {
+	for in, want := range map[int]int{-1: 1, 0: 1, 1: 1, 2: 2, 8: 8} {
+		if got := (Options{Shards: in}).shards(); got != want {
+			t.Errorf("Options{Shards: %d}.shards() = %d, want %d", in, got, want)
+		}
+	}
+	if w := trialWorkers(1 << 20); w != 1 {
+		t.Errorf("trialWorkers with huge shard count = %d, want 1 (never zero workers)", w)
+	}
+	if w := trialWorkers(0); w < 1 {
+		t.Errorf("trialWorkers(0) = %d, want >= 1", w)
+	}
+}

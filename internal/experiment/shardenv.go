@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"runtime"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// simEnv abstracts over the sequential scheduler and the sharded group so
+// a runner is written once and honors Options.Shards. With one shard it
+// is a thin wrapper around sim.NewScheduler() — the historical code path,
+// byte for byte. With more it owns a ShardGroup whose shard 0 plays the
+// old scheduler's role (topologies place the bottleneck and front-end
+// there), and global reads — watch loops that poll a collector and stop
+// the run — become sync events so they observe exactly the state a single
+// core would present.
+type simEnv struct {
+	group *sim.ShardGroup
+	sched *sim.Scheduler
+}
+
+// newSimEnv builds the environment for the given shard count (≤1 →
+// sequential).
+func newSimEnv(shards int) *simEnv {
+	if shards > 1 {
+		g := sim.NewShardGroup(shards)
+		return &simEnv{group: g, sched: g.Shard(0)}
+	}
+	return &simEnv{sched: sim.NewScheduler()}
+}
+
+// partition applies a topology's shard plan (its Shard method) when the
+// env is sharded; sequential runs skip it. Call after the topology is
+// fully built and before any tcp.Conn is created, so connections capture
+// their hosts' final schedulers.
+func (e *simEnv) partition(shard func(*sim.ShardGroup) error) error {
+	if e.group == nil {
+		return nil
+	}
+	return shard(e.group)
+}
+
+// syncAt schedules fn at t on shard s as a global event: under sharding
+// every shard is quiesced at t when fn runs, so it may read cross-shard
+// state (collector Pending, delivered-byte totals) and call stop.
+func (e *simEnv) syncAt(s *sim.Scheduler, t sim.Time, fn func()) error {
+	if e.group == nil {
+		_, err := s.At(t, fn)
+		return err
+	}
+	_, err := e.group.SyncAt(s, t, fn)
+	return err
+}
+
+// syncAfter is syncAt relative to shard s's current instant; it is only
+// legal from setup or from inside another sync event.
+func (e *simEnv) syncAfter(s *sim.Scheduler, d time.Duration, fn func()) {
+	if e.group == nil {
+		s.After(d, fn)
+		return
+	}
+	e.group.SyncAfter(s, d, fn)
+}
+
+// stop halts the run; under sharding it is only legal from a sync event.
+func (e *simEnv) stop() {
+	if e.group == nil {
+		e.sched.Stop()
+		return
+	}
+	e.group.Stop()
+}
+
+// runUntil executes the simulation to the horizon (or stop).
+func (e *simEnv) runUntil(t sim.Time) {
+	if e.group == nil {
+		e.sched.RunUntil(t)
+		return
+	}
+	e.group.RunUntil(t)
+}
+
+// trialWorkers is the worker-pool size for trial fan-outs when every
+// trial runs a group of the given shard count: GOMAXPROCS divided by the
+// shards each trial will occupy, floored at one, so concurrent trials ×
+// shard goroutines never oversubscribe the machine.
+func trialWorkers(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	w := runtime.GOMAXPROCS(0) / shards
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

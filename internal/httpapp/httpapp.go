@@ -32,15 +32,44 @@ func (r Response) CompletionTime() time.Duration {
 	return r.Completed.Sub(r.Released)
 }
 
-// Collector accumulates completed responses across servers.
+// Collector accumulates completed responses across servers. Under a
+// sharded network every server reports into its own shard's bucket, so
+// completion callbacks running in parallel window segments never share
+// memory; Responses merges the buckets back into global completion
+// order. The zero value is ready to use.
 type Collector struct {
-	responses []Response
-	pending   int
+	buckets []collBucket
+	merged  []Response
 }
 
-// Add records a completed response.
+// collBucket is one shard's private slice of the collector. scheduled
+// and completed are kept separately (incremented on possibly different
+// shards for RPC chains) so Pending never needs a shared counter.
+type collBucket struct {
+	responses []Response
+	scheduled int
+	completed int
+}
+
+// bucket returns shard sh's bucket, growing the table as needed. Only
+// single-threaded phases (experiment setup, sync events) may grow it;
+// parallel completion callbacks index into pre-existing buckets.
+func (c *Collector) bucket(sh int) *collBucket {
+	for len(c.buckets) <= sh {
+		c.buckets = append(c.buckets, collBucket{})
+	}
+	return &c.buckets[sh]
+}
+
+// Add records a completed response into the default (shard 0) bucket.
+// Callers on other shards must go through a Server, which records into
+// its own shard's bucket.
 func (c *Collector) Add(label string, bytes int, res tcp.TrainResult) {
-	c.responses = append(c.responses, Response{
+	c.bucket(0).add(label, bytes, res)
+}
+
+func (b *collBucket) add(label string, bytes int, res tcp.TrainResult) {
+	b.responses = append(b.responses, Response{
 		Label:     label,
 		Bytes:     bytes,
 		Released:  res.Released,
@@ -48,18 +77,60 @@ func (c *Collector) Add(label string, bytes int, res tcp.TrainResult) {
 	})
 }
 
-// Responses returns all completed responses (shared slice; callers must
-// not mutate it).
-func (c *Collector) Responses() []Response { return c.responses }
+// Responses returns all completed responses in completion order (shared
+// slice; callers must not mutate it). Per-bucket slices are already in
+// completion order — callbacks fire at their completion instants — so a
+// k-way merge on Completed (ties broken by shard index) reconstructs the
+// global order the unsharded simulation would have appended in.
+func (c *Collector) Responses() []Response {
+	total := 0
+	for i := range c.buckets {
+		total += len(c.buckets[i].responses)
+	}
+	if len(c.merged) == total {
+		return c.merged
+	}
+	if len(c.buckets) == 1 {
+		c.merged = c.buckets[0].responses
+		return c.merged
+	}
+	idx := make([]int, len(c.buckets))
+	merged := make([]Response, 0, total)
+	for len(merged) < total {
+		best := -1
+		for i := range c.buckets {
+			if idx[i] >= len(c.buckets[i].responses) {
+				continue
+			}
+			if best < 0 || c.buckets[i].responses[idx[i]].Completed <
+				c.buckets[best].responses[idx[best]].Completed {
+				best = i
+			}
+		}
+		merged = append(merged, c.buckets[best].responses[idx[best]])
+		idx[best]++
+	}
+	c.merged = merged
+	return merged
+}
 
 // Pending returns the number of scheduled responses not yet completed.
-func (c *Collector) Pending() int { return c.pending }
+// Under sharding it is exact only between events of a quiescent group —
+// experiment watch loops read it from sync events, where every shard has
+// halted at the same instant.
+func (c *Collector) Pending() int {
+	n := 0
+	for i := range c.buckets {
+		n += c.buckets[i].scheduled - c.buckets[i].completed
+	}
+	return n
+}
 
 // CompletionTimes returns the distribution of completion times, filtered
 // by filter (nil keeps everything).
 func (c *Collector) CompletionTimes(filter func(Response) bool) *metrics.Distribution {
 	var d metrics.Distribution
-	for _, r := range c.responses {
+	for _, r := range c.Responses() {
 		if filter == nil || filter(r) {
 			d.AddDuration(r.CompletionTime())
 		}
@@ -85,12 +156,20 @@ type Server struct {
 	conn      *tcp.Conn
 	label     string
 	collector *Collector
+	shard     int
 }
 
 // NewServer wraps conn; completions are reported to collector under
-// label.
+// label. sched must be the scheduler owning the connection's sender
+// (conn.Scheduler()) so releases and completion records stay on the
+// sender's shard. Creating a server pre-grows the collector's bucket
+// table, which must only happen in single-threaded phases — construct
+// all servers before running the group.
 func NewServer(sched *sim.Scheduler, conn *tcp.Conn, label string, collector *Collector) *Server {
-	return &Server{sched: sched, conn: conn, label: label, collector: collector}
+	s := &Server{sched: sched, conn: conn, label: label, collector: collector,
+		shard: sched.ShardIndex()}
+	collector.bucket(s.shard)
+	return s
 }
 
 // Conn returns the underlying connection.
@@ -102,15 +181,19 @@ func (s *Server) Label() string { return s.label }
 // ScheduleResponse releases a response of the given size at the given
 // instant.
 func (s *Server) ScheduleResponse(at sim.Time, bytes int) error {
-	s.collector.pending++
+	s.collector.bucket(s.shard).scheduled++
 	_, err := s.sched.At(at, func() {
 		s.conn.SendTrain(bytes, func(res tcp.TrainResult) {
-			s.collector.pending--
-			s.collector.Add(s.label, bytes, res)
+			// Resolve the bucket at completion time: the table may have
+			// grown between scheduling and completion (it never grows once
+			// the run starts).
+			b := &s.collector.buckets[s.shard]
+			b.completed++
+			b.add(s.label, bytes, res)
 		})
 	})
 	if err != nil {
-		s.collector.pending--
+		s.collector.bucket(s.shard).scheduled--
 		return fmt.Errorf("schedule response at %v: %w", at, err)
 	}
 	return nil
@@ -197,7 +280,6 @@ func NewFleet(net *netsim.Network, cfg FleetConfig) (*Fleet, error) {
 	if cfg.FirstFlow == 0 {
 		cfg.FirstFlow = 1
 	}
-	sched := net.Scheduler()
 	f := &Fleet{
 		Collector: &Collector{},
 		frontEnd:  tcp.NewStack(net, cfg.FrontEnd),
@@ -216,7 +298,7 @@ func NewFleet(net *netsim.Network, cfg FleetConfig) (*Fleet, error) {
 		}
 		f.Conns = append(f.Conns, conn)
 		label := fmt.Sprintf("%s%d", cfg.LabelPrefix, i+1)
-		f.Servers = append(f.Servers, NewServer(sched, conn, label, f.Collector))
+		f.Servers = append(f.Servers, NewServer(conn.Scheduler(), conn, label, f.Collector))
 	}
 	return f, nil
 }

@@ -34,6 +34,11 @@ func (p *Pipe) ownedPooled() int {
 			n++
 		}
 	}
+	for _, pkt := range p.pendingFlight[p.pendingHead:] {
+		if pkt != nil && pkt.pooled {
+			n++
+		}
+	}
 	q := p.queue
 	for _, pkt := range q.pkts[q.head:] {
 		if pkt != nil && pkt.pooled {
@@ -46,7 +51,9 @@ func (p *Pipe) ownedPooled() int {
 		}
 	}
 	if p.faults != nil {
-		n += p.faults.heldPooled
+		// On a cut pipe the held ledger splits across shards: the source
+		// counts holds, the destination counts consumptions.
+		n += p.faults.heldPooled - p.faults.arrivedPooled
 	}
 	return n
 }
@@ -76,7 +83,14 @@ func (n *Network) CheckInvariants() {
 	// The scheduler's own structural walk (wheel slots, bitmaps, overflow
 	// heap, live accounting) rides along: a corrupted timer structure
 	// would surface as misdelivered packets long after the actual fault.
-	n.sched.CheckAccounting()
+	// Under sharding every shard's wheel gets the walk, not just shard 0's.
+	if g := n.group; g != nil {
+		for i := 0; i < g.NumShards(); i++ {
+			g.Shard(i).CheckAccounting()
+		}
+	} else {
+		n.sched.CheckAccounting()
+	}
 	owned := 0
 	var violations []string
 	for _, pipes := range n.out {
@@ -88,10 +102,10 @@ func (n *Network) CheckInvariants() {
 			}
 		}
 	}
-	if owned != n.livePkts {
+	if live := n.LivePackets(); owned != live {
 		violations = append(violations, fmt.Sprintf(
 			"packet conservation: %d pooled packets outstanding but %d owned by pipes (leak or stolen reference of %d)",
-			n.livePkts, owned, n.livePkts-owned))
+			live, owned, live-owned))
 	}
 	if len(violations) == 0 {
 		return
@@ -103,8 +117,12 @@ func (n *Network) CheckInvariants() {
 // dumpState renders the per-pipe ownership picture for invariant panics.
 func (n *Network) dumpState() string {
 	var b strings.Builder
+	free := 0
+	for i := range n.pools {
+		free += len(n.pools[i].free)
+	}
 	fmt.Fprintf(&b, "network state: live=%d free=%d pool=%+v stats=%+v\n",
-		n.livePkts, len(n.freePkts), n.poolStats, n.stats)
+		n.LivePackets(), free, n.PoolStats(), n.Stats())
 	for _, pipes := range n.out {
 		for _, p := range pipes {
 			tx := 0
@@ -134,6 +152,21 @@ func (n *Network) dumpState() string {
 func (n *Network) ScheduleInvariantChecks(every time.Duration) {
 	if every <= 0 {
 		every = time.Millisecond
+	}
+	if g := n.group; g != nil {
+		// Conservation is only meaningful with every shard halted at the
+		// same instant, so the tick rides the group's sync-point machinery.
+		// The rearm condition reads the group-wide event count — the same
+		// value the unsharded tick sees in its scheduler.
+		var tick func()
+		tick = func() {
+			n.CheckInvariants()
+			if g.Len() > 0 {
+				g.SyncAfter(n.sched, every, tick)
+			}
+		}
+		g.SyncAfter(n.sched, every, tick)
+		return
 	}
 	var tick func()
 	tick = func() {

@@ -1,5 +1,7 @@
 package netsim
 
+import "tcptrim/internal/sim"
+
 // Node is anything that can terminate or forward packets.
 type Node interface {
 	// ID returns the node's identity within its Network.
@@ -26,6 +28,13 @@ type Host struct {
 	name    string
 	handler Handler
 	tap     Handler
+
+	// Sharding (see shard.go): sched is the owning shard's scheduler (nil
+	// until partitioned) and shard its index. The transport layer must arm
+	// host-side timers on Scheduler() and allocate from AllocPacket() so
+	// its events and pool traffic stay on the host's shard.
+	sched *sim.Scheduler
+	shard int32
 }
 
 var _ Node = (*Host)(nil)
@@ -39,6 +48,20 @@ func (h *Host) Name() string { return h.name }
 // Network returns the network this host belongs to (the transport layer
 // uses it to reach the packet free list).
 func (h *Host) Network() *Network { return h.net }
+
+// Scheduler returns the scheduler driving this host's events: its shard's
+// once the network is partitioned, the network-wide one before.
+func (h *Host) Scheduler() *sim.Scheduler {
+	if h.sched != nil {
+		return h.sched
+	}
+	return h.net.sched
+}
+
+// AllocPacket draws a packet from this host's shard pool. The transport
+// layer must use it (rather than Network.AllocPacket) so a sharded run's
+// pool traffic stays shard-local.
+func (h *Host) AllocPacket() *Packet { return h.net.allocShard(h.shard) }
 
 // SetHandler installs the delivery callback for packets addressed to this
 // host. The transport layer installs its demultiplexer here.
@@ -79,7 +102,7 @@ func (h *Host) deliver(pkt *Packet) {
 	if h.handler != nil {
 		h.handler(pkt)
 	}
-	h.net.ReleasePacket(pkt)
+	h.net.releaseShard(pkt, h.shard)
 }
 
 // Switch is a store-and-forward switch. Each egress port is a Pipe with

@@ -1,0 +1,327 @@
+package netsim
+
+// Differential proof that partitioning a network is a pure relabeling:
+// the same star topology, traffic program, and fault schedule run on a
+// plain scheduler and on ShardGroups of several sizes (inline and
+// parallel), and every observable — delivery traces with exact arrival
+// instants, per-pipe fault counters, queue drops, pool ledgers, fired
+// event counts — must match bit for bit. Faults cover both sides of the
+// cut rule: GE loss / reorder / duplication / jitter on *cut* pipes
+// (source-side decisions, legal) and uniform loss + link flaps on
+// shard-internal pipes.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+const (
+	ssSenders = 6
+	ssHorizon = 200 * time.Millisecond
+)
+
+// ssEntry is one observed delivery: which packet, where, when.
+type ssEntry struct {
+	flow FlowID
+	id   uint64
+	at   sim.Time
+}
+
+// ssEnv is one run of the star program.
+type ssEnv struct {
+	sched    *sim.Scheduler
+	group    *sim.ShardGroup
+	net      *Network
+	senders  []*Host
+	sw       *Switch
+	fe       *Host
+	up, down []*Pipe // sender→switch, switch→sender
+	swFe     *Pipe
+	feSw     *Pipe
+
+	feTrace   []ssEntry
+	echoTrace []ssEntry
+	echoed    uint64
+}
+
+// buildStar wires the topology, traffic program, and fault schedule.
+// shards == 0 builds the plain single-scheduler reference.
+func buildStar(t *testing.T, shards int, parallel bool, shardOf func(i int) int) *ssEnv {
+	t.Helper()
+	e := &ssEnv{}
+	if shards > 0 {
+		e.group = sim.NewShardGroup(shards)
+		e.group.SetParallel(parallel)
+		e.sched = e.group.Shard(0)
+	} else {
+		e.sched = sim.NewScheduler()
+	}
+	e.net = NewNetwork(e.sched)
+	e.sw = e.net.AddSwitch("sw")
+	e.fe = e.net.AddHost("fe")
+	for i := 0; i < ssSenders; i++ {
+		e.senders = append(e.senders, e.net.AddHost(fmt.Sprintf("s%d", i)))
+	}
+	for _, s := range e.senders {
+		up, down := e.net.Connect(s, e.sw, LinkConfig{
+			Rate: Gbps, Delay: 20 * time.Microsecond,
+			Queue: QueueConfig{CapPackets: 64},
+		})
+		e.up = append(e.up, up)
+		e.down = append(e.down, down)
+	}
+	e.swFe, e.feSw = e.net.Connect(e.sw, e.fe, LinkConfig{
+		Rate: Gbps, Delay: 10 * time.Microsecond,
+		Queue: QueueConfig{CapPackets: 32},
+	})
+
+	if e.group != nil {
+		if err := e.net.Shard(e.group, func(n Node) int {
+			for i, s := range e.senders {
+				if s.ID() == n.ID() {
+					return shardOf(i)
+				}
+			}
+			return 0 // switch and frontend stay on shard 0
+		}); err != nil {
+			t.Fatalf("Shard: %v", err)
+		}
+	}
+
+	// Frontend: record every arrival; echo every third packet per flow
+	// back to its sender so the reverse direction crosses the cut too.
+	e.fe.SetHandler(func(p *Packet) {
+		e.feTrace = append(e.feTrace, ssEntry{p.Flow, p.ID, e.fe.Scheduler().Now()})
+		if p.ID%3 == 0 {
+			e.echoed++
+			echo := e.fe.AllocPacket()
+			echo.ID = 1_000_000 + e.echoed
+			echo.Flow = p.Flow
+			echo.Src, echo.Dst = e.fe.ID(), NodeID(p.Src)
+			echo.Size = 64
+			echo.IsAck = true
+			e.fe.Send(echo)
+		}
+	})
+	for i, s := range e.senders {
+		i := i
+		s.SetHandler(func(p *Packet) {
+			e.echoTrace = append(e.echoTrace, ssEntry{p.Flow, p.ID, e.senders[i].Scheduler().Now()})
+		})
+	}
+
+	// Traffic: each sender emits bursts on its own shard's scheduler.
+	for i, s := range e.senders {
+		i, s := i, s
+		for burst := 0; burst < 8; burst++ {
+			at := sim.At(time.Duration(1+burst*17+i) * time.Millisecond)
+			burst := burst
+			if _, err := s.Scheduler().At(at, func() {
+				for k := 0; k < 10; k++ {
+					pkt := s.AllocPacket()
+					pkt.ID = uint64(i)*10_000 + uint64(burst)*100 + uint64(k)
+					pkt.Flow = FlowID(i)
+					pkt.Src, pkt.Dst = s.ID(), e.fe.ID()
+					pkt.Size = 1500
+					s.Send(pkt)
+				}
+			}); err != nil {
+				t.Fatalf("schedule burst: %v", err)
+			}
+		}
+	}
+
+	// Faults. Cut pipes get source-side injectors; the shard-internal
+	// bottleneck gets uniform loss plus a flap schedule.
+	e.up[0].InjectGilbertElliott(GEConfig{PGoodBad: 0.05, PBadGood: 0.3, LossBad: 0.5},
+		rand.New(rand.NewSource(101)))
+	e.up[1].InjectDuplicate(0.08, rand.New(rand.NewSource(202)))
+	e.up[3].InjectReorder(0.1, 40*time.Microsecond, rand.New(rand.NewSource(303)))
+	e.up[4].InjectJitter(15*time.Microsecond, rand.New(rand.NewSource(404)))
+	e.swFe.InjectLoss(0.02, rand.New(rand.NewSource(505)))
+	if err := e.swFe.ScheduleFlaps(FlapConfig{
+		FirstDownAt: sim.At(40 * time.Millisecond),
+		DownFor:     2 * time.Millisecond,
+		UpFor:       30 * time.Millisecond,
+		Count:       3,
+	}); err != nil {
+		t.Fatalf("ScheduleFlaps: %v", err)
+	}
+	return e
+}
+
+func (e *ssEnv) run() {
+	if e.group != nil {
+		e.group.RunUntil(sim.At(ssHorizon))
+		return
+	}
+	e.sched.RunUntil(sim.At(ssHorizon))
+}
+
+func (e *ssEnv) fired() uint64 {
+	if e.group != nil {
+		return e.group.Fired()
+	}
+	return e.sched.Fired()
+}
+
+// diff compares every observable of two runs.
+func (e *ssEnv) diff(o *ssEnv) string {
+	if len(e.feTrace) != len(o.feTrace) {
+		return fmt.Sprintf("frontend trace length %d != %d", len(e.feTrace), len(o.feTrace))
+	}
+	for i := range e.feTrace {
+		if e.feTrace[i] != o.feTrace[i] {
+			return fmt.Sprintf("frontend trace[%d] %+v != %+v", i, e.feTrace[i], o.feTrace[i])
+		}
+	}
+	if len(e.echoTrace) != len(o.echoTrace) {
+		return fmt.Sprintf("echo trace length %d != %d", len(e.echoTrace), len(o.echoTrace))
+	}
+	for i := range e.echoTrace {
+		if e.echoTrace[i] != o.echoTrace[i] {
+			return fmt.Sprintf("echo trace[%d] %+v != %+v", i, e.echoTrace[i], o.echoTrace[i])
+		}
+	}
+	pipes := func(env *ssEnv) []*Pipe {
+		ps := append([]*Pipe{}, env.up...)
+		ps = append(ps, env.down...)
+		return append(ps, env.swFe, env.feSw)
+	}
+	ep, op := pipes(e), pipes(o)
+	for i := range ep {
+		if ep[i].Stats() != op[i].Stats() {
+			return fmt.Sprintf("pipe %s->%s stats %+v != %+v",
+				ep[i].from.Name(), ep[i].to.Name(), ep[i].Stats(), op[i].Stats())
+		}
+		if ep[i].Queue().Stats() != op[i].Queue().Stats() {
+			return fmt.Sprintf("pipe %s->%s queue stats %+v != %+v",
+				ep[i].from.Name(), ep[i].to.Name(), ep[i].Queue().Stats(), op[i].Queue().Stats())
+		}
+	}
+	if e.net.Stats() != o.net.Stats() {
+		return fmt.Sprintf("network stats %+v != %+v", e.net.Stats(), o.net.Stats())
+	}
+	if e.net.LivePackets() != o.net.LivePackets() {
+		return fmt.Sprintf("live packets %d != %d", e.net.LivePackets(), o.net.LivePackets())
+	}
+	if ps, qs := e.net.PoolStats(), o.net.PoolStats(); ps.Releases != qs.Releases {
+		return fmt.Sprintf("pool releases %d != %d", ps.Releases, qs.Releases)
+	}
+	if e.fired() != o.fired() {
+		return fmt.Sprintf("fired %d != %d", e.fired(), o.fired())
+	}
+	return ""
+}
+
+// TestNetworkShardDifferential sweeps shard counts and execution modes
+// against the sequential reference.
+func TestNetworkShardDifferential(t *testing.T) {
+	ref := buildStar(t, 0, false, nil)
+	ref.run()
+	if len(ref.feTrace) == 0 {
+		t.Fatal("reference run delivered nothing; traffic program is broken")
+	}
+
+	plans := []struct {
+		name    string
+		shards  int
+		shardOf func(i int) int
+	}{
+		{"1shard", 1, func(int) int { return 0 }},
+		{"2shards", 2, func(int) int { return 1 }},
+		{"3shards", 3, func(i int) int { return 1 + i/3 }},
+		{"7shards", 7, func(i int) int { return 1 + i }},
+	}
+	for _, plan := range plans {
+		for _, parallel := range []bool{false, true} {
+			name := plan.name
+			if parallel {
+				name += "-parallel"
+			}
+			t.Run(name, func(t *testing.T) {
+				e := buildStar(t, plan.shards, parallel, plan.shardOf)
+				e.run()
+				if d := ref.diff(e); d != "" {
+					t.Fatalf("sharded run diverged from sequential reference: %s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestNetworkShardInvariants runs the 3-shard plan with invariant checks
+// and the periodic checker on, exercising cross-shard conservation
+// accounting (pendingFlight, held/arrived ledgers, per-shard pools).
+func TestNetworkShardInvariants(t *testing.T) {
+	old := sim.InvariantChecks()
+	sim.SetInvariantChecks(true)
+	defer sim.SetInvariantChecks(old)
+
+	e := buildStar(t, 3, true, func(i int) int { return 1 + i/3 })
+	e.net.ScheduleInvariantChecks(time.Millisecond)
+	e.run()
+	e.net.CheckInvariants()
+	if live := e.net.LivePackets(); live != 0 {
+		t.Fatalf("%d pooled packets leaked", live)
+	}
+}
+
+// TestShardValidation pins the partitioning preconditions: bad shard
+// indices, double sharding, zero-delay cuts, flaps on cut pipes, and
+// Connect-after-Shard.
+func TestShardValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := NewNetwork(sched)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	ab, _ := net.Connect(a, b, LinkConfig{Rate: Gbps, Delay: 10 * time.Microsecond,
+		Queue: QueueConfig{CapPackets: 8}})
+
+	g := sim.NewShardGroup(2)
+	if err := net.Shard(g, func(Node) int { return 5 }); err == nil {
+		t.Fatal("out-of-range shard index not rejected")
+	}
+	if err := net.Shard(g, func(n Node) int {
+		if n.ID() == a.ID() {
+			return 0
+		}
+		return 1
+	}); err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	if err := net.Shard(g, func(Node) int { return 0 }); err == nil {
+		t.Fatal("double Shard not rejected")
+	}
+	if err := ab.ScheduleFlaps(FlapConfig{FirstDownAt: sim.At(time.Millisecond),
+		DownFor: time.Millisecond}); err == nil {
+		t.Fatal("flap schedule on a cut pipe not rejected")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Connect after Shard did not panic")
+			}
+		}()
+		net.Connect(a, b, LinkConfig{Rate: Gbps, Delay: time.Microsecond})
+	}()
+
+	// Zero-delay cuts admit no lookahead.
+	net2 := NewNetwork(sim.NewScheduler())
+	c := net2.AddHost("c")
+	d := net2.AddHost("d")
+	net2.Connect(c, d, LinkConfig{Rate: Gbps, Delay: 0, Queue: QueueConfig{CapPackets: 8}})
+	g2 := sim.NewShardGroup(2)
+	if err := net2.Shard(g2, func(n Node) int {
+		if n.ID() == c.ID() {
+			return 0
+		}
+		return 1
+	}); err == nil {
+		t.Fatal("zero-delay cut pipe not rejected")
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// pingPongGroup builds the cross-shard hot-path workload: two shards,
+// each re-arming a local ticker every 700ns that posts a no-op to the
+// other shard one lookahead ahead. Both shards are active in every
+// window, so every tick exercises the full handoff machinery — logged
+// Post, window segment, barrier merge, scheduleSeq on the destination
+// wheel. Returns per-destination delivery counters (written only by the
+// receiving shard, so the workload is race-free under parallel windows).
+func pingPongGroup(parallel bool) (*ShardGroup, *[2]uint64) {
+	g := NewShardGroup(2)
+	g.SetLookahead(1000)
+	g.SetParallel(parallel)
+	var delivered [2]uint64
+	for i := 0; i < 2; i++ {
+		i := i
+		src, dst := g.Shard(i), g.Shard(1-i)
+		recv := func() { delivered[1-i]++ }
+		var tick func()
+		tick = func() {
+			src.Post(dst, src.Now()+1000, nil, recv)
+			src.After(700*time.Nanosecond, tick)
+		}
+		// Staggered starts so the two tickers never share an instant.
+		src.After(time.Duration(100+i*50)*time.Nanosecond, tick)
+	}
+	return g, &delivered
+}
+
+// BenchmarkCrossShardHandoff measures the steady-state cost of one
+// cross-shard post round trip: one op is one 700ns slice of simulated
+// time carrying one handoff in each direction. The inline variant is
+// the per-handoff machinery itself; the parallel variant adds the
+// goroutine fan-out and barrier cost per window. Both must report
+// 0 allocs/op (enforced at unit level by TestCrossShardHandoffZeroAlloc).
+func BenchmarkCrossShardHandoff(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		parallel bool
+	}{{"inline", false}, {"parallel", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			g, delivered := pingPongGroup(cfg.parallel)
+			// Warm free lists and merge scratch to steady state.
+			g.RunUntil(Time(100_000))
+			b.ReportAllocs()
+			b.ResetTimer()
+			g.RunUntil(Time(100_000) + Time(b.N)*700)
+			b.StopTimer()
+			b.ReportMetric(float64(delivered[0]+delivered[1])/float64(b.N), "handoffs/op")
+		})
+	}
+}
+
+// TestCrossShardHandoffZeroAlloc pins the cross-shard handoff path at
+// zero allocations in steady state: logged posts reuse the call log,
+// the barrier merge reuses its fixup scratch, and destination events
+// come off the free list. A regression here multiplies across every
+// packet that crosses a shard cut.
+func TestCrossShardHandoffZeroAlloc(t *testing.T) {
+	for _, cfg := range []struct {
+		name     string
+		parallel bool
+	}{{"inline", false}, {"parallel", true}} {
+		t.Run(cfg.name, func(t *testing.T) {
+			g, delivered := pingPongGroup(cfg.parallel)
+			g.RunUntil(Time(200_000)) // warm: ~280 windows sizes every scratch slice
+			end := Time(200_000)
+			allocs := testing.AllocsPerRun(100, func() {
+				end += 7_000 // ten ticks per shard, twenty handoffs
+				g.RunUntil(end)
+			})
+			if delivered[0] == 0 || delivered[1] == 0 {
+				t.Fatalf("workload did not cross shards: delivered=%v", *delivered)
+			}
+			if allocs != 0 {
+				t.Errorf("cross-shard handoff allocates %.2f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,337 @@
+package sim
+
+// Differential determinism proof for the sharded core, in the
+// FuzzScheduler lockstep idiom: a byte stream decodes into a small
+// deterministic program over K logical shards — root events, timers,
+// cross-shard posts, sync points — which runs three ways on identical
+// input: against a single plain Scheduler (the reference semantics every
+// figure was generated with), against a ShardGroup executing segments
+// inline, and against a ShardGroup fanning segments out to goroutines.
+// Every observable — per-shard dispatch traces, per-shard work counters,
+// cross-shard transfer ledgers, sync-point global reads, fired counts,
+// shard clocks — must match bit for bit across the three runs.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// splitmix is splitmix64: a cheap, well-mixed hash for deriving
+// deterministic per-event behavior from ids.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const (
+	sdShards    = 4
+	sdLookahead = Time(100 * time.Microsecond)
+	sdQuantum   = Time(50 * time.Microsecond)
+	sdHorizon   = Time(40 * time.Second)
+	sdStopAt    = 600 // sync-read threshold that stops the run
+)
+
+// sdEntry is one observed dispatch: which program event fired and when.
+type sdEntry struct {
+	id uint64
+	at Time
+}
+
+// sdEnv hosts one run of the differential program. For the reference
+// run, every logical shard maps to the same plain Scheduler; for the
+// sharded runs each maps to its ShardGroup shard.
+type sdEnv struct {
+	scheds [sdShards]*Scheduler
+	group  *ShardGroup
+
+	counters [sdShards]int64
+	xferred  [sdShards]int64
+	traces   [sdShards][]sdEntry
+	timers   [sdShards][]Timer
+	syncLog  []string
+}
+
+func newRefEnv() *sdEnv {
+	e := &sdEnv{}
+	s := NewScheduler()
+	for i := range e.scheds {
+		e.scheds[i] = s
+	}
+	return e
+}
+
+func newShardEnv(parallel bool) *sdEnv {
+	e := &sdEnv{group: NewShardGroup(sdShards)}
+	e.group.SetLookahead(sdLookahead)
+	e.group.SetParallel(parallel)
+	for i := range e.scheds {
+		e.scheds[i] = e.group.Shard(i)
+	}
+	return e
+}
+
+func (e *sdEnv) run() {
+	if e.group != nil {
+		e.group.RunUntil(sdHorizon)
+		return
+	}
+	e.scheds[0].RunUntil(sdHorizon)
+}
+
+func (e *sdEnv) fired() uint64 {
+	if e.group != nil {
+		return e.group.Fired()
+	}
+	return e.scheds[0].Fired()
+}
+
+func (e *sdEnv) stop() {
+	if e.group != nil {
+		e.group.Stop()
+		return
+	}
+	e.scheds[0].Stop()
+}
+
+// post hands an event across logical shards: immediately on the
+// reference scheduler (matching Post's shared-mode semantics), via the
+// PDES handoff on a sharded run.
+func (e *sdEnv) post(from, to int, at Time, xfer, fn func()) {
+	s, d := e.scheds[from], e.scheds[to]
+	if s == d {
+		if xfer != nil {
+			xfer()
+		}
+		d.At(at, fn) //nolint:errcheck // at is never in the past here
+		return
+	}
+	s.Post(d, at, xfer, fn)
+}
+
+// fire is the program's event body: do work, observe, and — salt-driven
+// — spawn same-shard children (quantized deltas, so distinct shards
+// collide on identical instants and exercise the global tie-break),
+// cross-shard posts one lookahead or more out, and timer manipulations.
+func (e *sdEnv) fire(shard int, id uint64, depth int) func() {
+	return func() {
+		s := e.scheds[shard]
+		e.counters[shard]++
+		e.traces[shard] = append(e.traces[shard], sdEntry{id: id, at: s.Now()})
+		if depth <= 0 {
+			return
+		}
+		h := splitmix(id)
+		kids := int(h % 3)
+		for k := 0; k < kids; k++ {
+			h = splitmix(h + uint64(k))
+			target := int(h>>4) % sdShards
+			childID := id*7 + uint64(k) + 1
+			child := e.fire(target, childID, depth-1)
+			if target == shard {
+				delta := Time((h>>12)%8) * sdQuantum
+				s.At(s.Now()+delta, child) //nolint:errcheck
+			} else {
+				at := s.Now() + sdLookahead + Time((h>>12)%4)*sdQuantum
+				tgt := target
+				e.post(shard, target, at, func() { e.xferred[tgt]++ }, child)
+			}
+		}
+		// Shard-local timer surgery: reset pushes a pending timer out
+		// (consuming a fresh sequence number), stop cancels one.
+		if h%5 == 0 && len(e.timers[shard]) > 0 {
+			idx := int(h>>20) % len(e.timers[shard])
+			if h%2 == 0 {
+				e.timers[shard][idx].Reset(time.Duration((h>>24)%5) * 75 * time.Microsecond)
+			} else {
+				e.timers[shard][idx].Stop()
+			}
+		}
+	}
+}
+
+// buildProgram decodes data into the initial schedule. Four bytes per
+// op; op kinds cover near and far (overflow-heap) roots, timers, and
+// sync points that read exact global state and may stop the run.
+func (e *sdEnv) buildProgram(data []byte) {
+	var id uint64
+	for len(data) >= 4 {
+		b0, b1, b2, b3 := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		id += 1000
+		shard := int(b1) % sdShards
+		at := Time(b2%64) * sdQuantum
+		switch b0 % 8 {
+		case 6: // far root: beyond the wheel span, lands in the overflow heap
+			far := Time(20*time.Second) + Time(b2)*sdQuantum
+			e.scheds[shard].At(far, e.fire(shard, id, int(b3%3))) //nolint:errcheck
+		case 5: // timer: fires as a plain observed event unless stopped
+			tm := e.scheds[shard].After(at.Duration(), e.fire(shard, id, 0))
+			e.timers[shard] = append(e.timers[shard], tm)
+		case 4: // sync point: exact global read, stop past the threshold
+			e.syncAt(shard, at+sdQuantum/2, id)
+		default: // near root
+			e.scheds[shard].At(at, e.fire(shard, id, int(b3%4))) //nolint:errcheck
+		}
+	}
+}
+
+func (e *sdEnv) syncAt(shard int, at Time, id uint64) {
+	fn := func() {
+		var sum int64
+		for i := range e.counters {
+			sum += e.counters[i] + e.xferred[i]
+		}
+		e.syncLog = append(e.syncLog, fmt.Sprintf("%d@%v=%d", id, at, sum))
+		if sum > sdStopAt {
+			e.stop()
+		}
+	}
+	if e.group != nil {
+		e.group.SyncAt(e.scheds[shard], at, fn) //nolint:errcheck
+	} else {
+		e.scheds[shard].At(at, fn) //nolint:errcheck
+	}
+}
+
+// diff compares every observable of two runs, returning a description
+// of the first divergence.
+func (e *sdEnv) diff(o *sdEnv) string {
+	for i := range e.counters {
+		if e.counters[i] != o.counters[i] {
+			return fmt.Sprintf("shard %d counter %d != %d", i, e.counters[i], o.counters[i])
+		}
+		if e.xferred[i] != o.xferred[i] {
+			return fmt.Sprintf("shard %d xferred %d != %d", i, e.xferred[i], o.xferred[i])
+		}
+		if len(e.traces[i]) != len(o.traces[i]) {
+			return fmt.Sprintf("shard %d trace length %d != %d", i, len(e.traces[i]), len(o.traces[i]))
+		}
+		for j := range e.traces[i] {
+			if e.traces[i][j] != o.traces[i][j] {
+				return fmt.Sprintf("shard %d trace[%d] %+v != %+v", i, j, e.traces[i][j], o.traces[i][j])
+			}
+		}
+		if e.scheds[i].Now() != o.scheds[i].Now() {
+			return fmt.Sprintf("shard %d clock %v != %v", i, e.scheds[i].Now(), o.scheds[i].Now())
+		}
+	}
+	if len(e.syncLog) != len(o.syncLog) {
+		return fmt.Sprintf("sync log length %d != %d", len(e.syncLog), len(o.syncLog))
+	}
+	for i := range e.syncLog {
+		if e.syncLog[i] != o.syncLog[i] {
+			return fmt.Sprintf("sync log[%d] %q != %q", i, e.syncLog[i], o.syncLog[i])
+		}
+	}
+	if e.fired() != o.fired() {
+		return fmt.Sprintf("fired %d != %d", e.fired(), o.fired())
+	}
+	return ""
+}
+
+// runShardDifferential drives the three runs and asserts bit-identical
+// observables.
+func runShardDifferential(t *testing.T, data []byte) {
+	t.Helper()
+	ref := newRefEnv()
+	ref.buildProgram(data)
+	ref.run()
+
+	seq := newShardEnv(false)
+	seq.buildProgram(data)
+	seq.run()
+	if d := ref.diff(seq); d != "" {
+		t.Fatalf("sharded (inline) run diverged from single-core: %s", d)
+	}
+
+	par := newShardEnv(true)
+	par.buildProgram(data)
+	par.run()
+	if d := ref.diff(par); d != "" {
+		t.Fatalf("sharded (parallel) run diverged from single-core: %s", d)
+	}
+}
+
+func TestShardDifferentialRandom(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		data := make([]byte, 64)
+		x := splitmix(seed * 11)
+		for i := range data {
+			x = splitmix(x)
+			data[i] = byte(x)
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runShardDifferential(t, data)
+		})
+	}
+}
+
+func TestShardDifferentialInvariants(t *testing.T) {
+	old := InvariantChecks()
+	SetInvariantChecks(true)
+	defer SetInvariantChecks(old)
+	for seed := uint64(0); seed < 40; seed++ {
+		data := make([]byte, 48)
+		x := splitmix(seed*13 + 7)
+		for i := range data {
+			x = splitmix(x)
+			data[i] = byte(x)
+		}
+		runShardDifferential(t, data)
+	}
+}
+
+// FuzzShardHandoff is the committed-corpus fuzz target for the
+// shard-boundary handoff: the fuzzer explores program shapes, the
+// lockstep oracle rejects any interleaving-visible divergence.
+func FuzzShardHandoff(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 3})
+	f.Add([]byte{0, 1, 4, 3, 1, 2, 4, 3, 4, 0, 8, 0})
+	f.Add([]byte{5, 0, 2, 0, 1, 0, 2, 2, 4, 1, 3, 0, 6, 3, 9, 2})
+	f.Add(bytes.Repeat([]byte{2, 3, 1, 3}, 12))
+	seed := make([]byte, 40)
+	binary.LittleEndian.PutUint64(seed, 0xdecafbad)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		runShardDifferential(t, data)
+	})
+}
+
+// TestShardSoloEquivalence pins the solo fast path: a group whose
+// traffic lives on one shard must execute exactly like a plain
+// scheduler, including timer surgery and horizon handling.
+func TestShardSoloEquivalence(t *testing.T) {
+	data := []byte{
+		0, 0, 3, 3, 5, 0, 7, 0, 0, 0, 9, 2,
+		4, 0, 12, 0, 6, 0, 1, 2, 0, 0, 30, 3,
+	}
+	runShardDifferential(t, data)
+}
+
+func TestShardGroupValidation(t *testing.T) {
+	g := NewShardGroup(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetLookahead(0) did not panic")
+			}
+		}()
+		g.SetLookahead(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RunUntil on a shard scheduler did not panic")
+			}
+		}()
+		g.Shard(0).RunUntil(End)
+	}()
+}

@@ -114,12 +114,17 @@ type interval struct{ start, end int64 }
 // Conn is one simulated TCP connection. It holds both the sender and the
 // receiver endpoint state; the simulation has a global view, so splitting
 // them into separate objects would only add plumbing. Not safe for
-// concurrent use — the whole simulation is single-threaded.
+// concurrent use by arbitrary callers; under a sharded network the
+// sender-side methods run on the sender host's shard and the
+// receiver-side ones (handleData through sendAck) on the receiver's,
+// which touch disjoint fields — sched/rsched keep each side's timers on
+// its own shard, and the packet-ID counters are split per side.
 type Conn struct {
-	sched *sim.Scheduler
-	cfg   Config
-	cc    CongestionControl
-	mss   int
+	sched  *sim.Scheduler // sender host's scheduler
+	rsched *sim.Scheduler // receiver host's scheduler (delayed-ACK timer)
+	cfg    Config
+	cc     CongestionControl
+	mss    int
 
 	// Sender state.
 	sndUna   int64
@@ -180,6 +185,7 @@ type Conn struct {
 
 	stats   Stats
 	nextPkt uint64
+	nextAck uint64
 }
 
 var _ Control = (*Conn)(nil)
@@ -215,7 +221,8 @@ func NewConn(cfg Config) (*Conn, error) {
 		cfg.MaxRTO = DefaultMaxRTO
 	}
 	c := &Conn{
-		sched:    cfg.Sender.net.Scheduler(),
+		sched:    cfg.Sender.host.Scheduler(),
+		rsched:   cfg.Receiver.host.Scheduler(),
 		cfg:      cfg,
 		cc:       cfg.CC,
 		mss:      cfg.MSS,
@@ -234,6 +241,12 @@ func NewConn(cfg Config) (*Conn, error) {
 	c.cc.Attach(c)
 	return c, nil
 }
+
+// Scheduler returns the scheduler driving the sender side of this
+// connection — the sender host's shard under a partitioned network. The
+// application layer must schedule train releases on it so they run on
+// the shard that owns the connection's sender state.
+func (c *Conn) Scheduler() *sim.Scheduler { return c.sched }
 
 // Flow returns the connection's flow id.
 func (c *Conn) Flow() netsim.FlowID { return c.cfg.Flow }
@@ -450,7 +463,7 @@ func (c *Conn) sendSegment(seq, end int64, retransmit bool) {
 		gap = now.Sub(c.lastSendAt)
 	}
 	payload := int(end - seq)
-	pkt := c.cfg.Sender.net.AllocPacket()
+	pkt := c.cfg.Sender.host.AllocPacket()
 	pkt.ID = c.nextPktID()
 	pkt.Flow = c.cfg.Flow
 	pkt.Src = c.cfg.Sender.host.ID()
@@ -489,6 +502,14 @@ func (c *Conn) sendSegment(seq, end int64, retransmit bool) {
 func (c *Conn) nextPktID() uint64 {
 	c.nextPkt++
 	return uint64(c.cfg.Flow)<<32 | c.nextPkt
+}
+
+// nextAckID numbers receiver-originated packets from a counter the
+// sender side never touches (the two endpoints may live on different
+// shards); bit 31 keeps the two ID spaces disjoint.
+func (c *Conn) nextAckID() uint64 {
+	c.nextAck++
+	return uint64(c.cfg.Flow)<<32 | 1<<31 | c.nextAck
 }
 
 // observe reports a lifecycle event to the configured observer, if any.
@@ -909,7 +930,7 @@ func (c *Conn) handleData(pkt *netsim.Packet) {
 	c.pendingCE = pkt.CE
 	c.pendingProbe = pkt.Probe
 	if !c.ackTimer.Reset(c.cfg.DelayedAck) {
-		c.ackTimer = c.sched.After(c.cfg.DelayedAck, c.ackFlushFn)
+		c.ackTimer = c.rsched.After(c.cfg.DelayedAck, c.ackFlushFn)
 	}
 }
 
@@ -933,8 +954,8 @@ func (c *Conn) clearPendingAck() {
 // attaching SACK blocks for any out-of-order data when negotiated.
 func (c *Conn) sendAck(echo sim.Time, ce, probe bool) {
 	c.stats.AcksSent++
-	ack := c.cfg.Receiver.net.AllocPacket()
-	ack.ID = c.nextPktID()
+	ack := c.cfg.Receiver.host.AllocPacket()
+	ack.ID = c.nextAckID()
 	ack.Flow = c.cfg.Flow
 	ack.Src = c.cfg.Receiver.host.ID()
 	ack.Dst = c.cfg.Sender.host.ID()

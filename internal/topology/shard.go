@@ -1,0 +1,113 @@
+package topology
+
+// Shard-cut plans for the evaluation topologies. The cut heuristic is the
+// same everywhere: keep each bottleneck queue and the hosts that feed it
+// most tightly on one shard, and cut only at links whose propagation
+// delay is large enough to serve as PDES lookahead. Concretely the
+// aggregation core (bottleneck switch + front-end) always lands on shard
+// 0, and sender populations — which dominate event volume with their
+// per-connection timers — spread round-robin over the remaining shards.
+// A one-shard group degenerates to the sequential simulation (the
+// engine's solo path), so every plan accepts any group size ≥ 1.
+
+import (
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+)
+
+// shardPlan maps nodes to shards and adapts to the netsim callback.
+type shardPlan map[netsim.NodeID]int
+
+func (p shardPlan) fn(n netsim.Node) int { return p[n.ID()] }
+
+// senderShard spreads sender index i over shards 1..k-1 (everything on
+// shard 0 for k == 1).
+func senderShard(i, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	return 1 + i%(k-1)
+}
+
+// Shard partitions the star for g: switch and front-end on shard 0,
+// senders round-robin over the rest. The cut pipes are the sender↔switch
+// links, so the lookahead is their propagation delay.
+func (s *Star) Shard(g *sim.ShardGroup) error {
+	k := g.NumShards()
+	plan := shardPlan{s.Switch.ID(): 0, s.FrontEnd.ID(): 0}
+	for i, h := range s.Senders {
+		plan[h.ID()] = senderShard(i, k)
+	}
+	return s.Net.Shard(g, plan.fn)
+}
+
+// Shard partitions the two-level tree for g: fabric and front-end on
+// shard 0, each ToR with its servers round-robin over the rest. The cut
+// pipes are the ToR↔fabric root links.
+func (t *TwoLevelTree) Shard(g *sim.ShardGroup) error {
+	k := g.NumShards()
+	plan := shardPlan{t.Fabric.ID(): 0, t.FrontEnd.ID(): 0}
+	for i, tor := range t.ToRs {
+		sh := senderShard(i, k)
+		plan[tor.ID()] = sh
+		for _, srv := range t.Servers[i] {
+			plan[srv.ID()] = sh
+		}
+	}
+	return t.Net.Shard(g, plan.fn)
+}
+
+// Shard partitions the multi-hop network for g at its first bottleneck:
+// switch 2's side (groups B and D plus the front-end) on shard 0,
+// switch 1's side (groups A and C) on shard 1. More than two shards
+// leave the extras idle — the dual-bottleneck topology has exactly one
+// delay-bearing cut that separates sender populations.
+func (m *MultiHop) Shard(g *sim.ShardGroup) error {
+	k := g.NumShards()
+	side1 := 0
+	if k > 1 {
+		side1 = 1
+	}
+	plan := shardPlan{
+		m.Switch1.ID(): side1, m.Switch2.ID(): 0, m.FrontEnd.ID(): 0,
+	}
+	for _, grp := range [][]*netsim.Host{m.GroupA, m.GroupC} {
+		for _, h := range grp {
+			plan[h.ID()] = side1
+		}
+	}
+	for _, grp := range [][]*netsim.Host{m.GroupB, m.GroupD} {
+		for _, h := range grp {
+			plan[h.ID()] = 0
+		}
+	}
+	return m.Net.Shard(g, plan.fn)
+}
+
+// Shard partitions the fat-tree for g: the core layer on shard 0, each
+// pod (edge + aggregation switches and hosts) round-robin over the rest.
+// The cut pipes are the agg↔core links, which every inter-pod path
+// crosses exactly twice.
+func (f *FatTree) Shard(g *sim.ShardGroup) error {
+	k := g.NumShards()
+	plan := shardPlan{}
+	for _, c := range f.Core {
+		plan[c.ID()] = 0
+	}
+	for p := range f.Edge {
+		sh := senderShard(p, k)
+		for _, e := range f.Edge[p] {
+			plan[e.ID()] = sh
+		}
+		for _, a := range f.Agg[p] {
+			plan[a.ID()] = sh
+		}
+	}
+	for i, h := range f.Hosts {
+		// Hosts are created pod-major (K/2 edge switches × K/2 hosts per
+		// pod): host i lives in pod i / (K/2)².
+		pod := i / ((f.K / 2) * (f.K / 2))
+		plan[h.ID()] = senderShard(pod, k)
+	}
+	return f.Net.Shard(g, plan.fn)
+}

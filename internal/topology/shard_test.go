@@ -1,0 +1,50 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+)
+
+func TestShardPlans(t *testing.T) {
+	link := DefaultStarLink(100)
+	for _, k := range []int{1, 2, 4, 8} {
+		g := sim.NewShardGroup(k)
+		s := NewStar(g.Shard(0), 16, link)
+		if err := s.Shard(g); err != nil {
+			t.Fatalf("star k=%d: %v", k, err)
+		}
+		if k > 1 && g.Lookahead() != sim.Time(50*time.Microsecond) {
+			t.Fatalf("star k=%d lookahead = %v, want 50µs (sender link delay)", k, g.Lookahead())
+		}
+
+		g2 := sim.NewShardGroup(k)
+		tree := NewTwoLevelTree(g2.Shard(0), TwoLevelTreeConfig{ToRs: 4, ServersPerToR: 3})
+		if err := tree.Shard(g2); err != nil {
+			t.Fatalf("tree k=%d: %v", k, err)
+		}
+		if k > 1 && g2.Lookahead() != sim.Time(10*time.Microsecond) {
+			t.Fatalf("tree k=%d lookahead = %v, want 10µs (root link delay)", k, g2.Lookahead())
+		}
+
+		g3 := sim.NewShardGroup(k)
+		m := NewMultiHop(g3.Shard(0), MultiHopConfig{GroupSize: 2})
+		if err := m.Shard(g3); err != nil {
+			t.Fatalf("multihop k=%d: %v", k, err)
+		}
+
+		g4 := sim.NewShardGroup(k)
+		f, err := NewFatTree(g4.Shard(0), 4, netsim.LinkConfig{
+			Rate: netsim.Gbps, Delay: 20 * time.Microsecond,
+			Queue: netsim.QueueConfig{CapPackets: 100},
+		})
+		if err != nil {
+			t.Fatalf("fat-tree: %v", err)
+		}
+		if err := f.Shard(g4); err != nil {
+			t.Fatalf("fat-tree k=%d: %v", k, err)
+		}
+	}
+}
