@@ -17,6 +17,7 @@ import (
 
 	"tcptrim/internal/aqm"
 	"tcptrim/internal/experiment"
+	"tcptrim/internal/tcp"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func run(args []string) error {
 		csvDir = fs.String("csv", "", "directory for CSV time-series export (fig4/fig6/fig9/fig10)")
 		aqmSel = fs.String("aqm", "", "switch queue discipline override for fig4/fig6/resilience ("+
 			strings.Join(aqm.Names(), ", ")+"; default: each scenario's drop-tail)")
+		recSel = fs.String("recovery", "", "TCP loss-recovery policy override for resilience/recoverysweep ("+
+			strings.Join(tcp.RecoveryNames(), ", ")+"; default: each scenario's classic)")
 		shards = fs.Int("shards", 1, "parallel simulation shards per run (1 = sequential; "+
 			"results are byte-identical at any count; more than GOMAXPROCS only adds overhead)")
 	)
@@ -49,6 +52,11 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *recSel != "" {
+		if _, err := tcp.NewRecoveryPolicy(*recSel); err != nil {
+			return err
+		}
+	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
 	}
@@ -57,7 +65,8 @@ func run(args []string) error {
 			return fmt.Errorf("create csv dir: %w", err)
 		}
 	}
-	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel, Shards: *shards}
+	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel,
+		Recovery: *recSel, Shards: *shards}
 	switch {
 	case *list:
 		fmt.Println(strings.Join(experiment.IDs(), "\n"))

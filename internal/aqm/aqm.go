@@ -194,6 +194,27 @@ func Names() []string {
 	return []string{"droptail", "red", "ared", "codel", "favour"}
 }
 
+// Tiny-buffer regime: shallow commodity ToR buffers (a few packets per
+// port) are where concurrent-train tail drops and the resulting RTO
+// stalls are at their worst — the regime the loss-recovery sweep and the
+// buffer ablation's leading rows probe.
+const (
+	// TinyBufferPackets is the canonical tiny per-port queue capacity.
+	TinyBufferPackets = 8
+)
+
+// TinyBufferCaps are the shallow per-port capacities (in packets) the
+// buffer ablation prepends to its sweep.
+func TinyBufferCaps() []int { return []int{4, 8, 16} }
+
+// TinyCoDelConfig returns CoDel parameters rescaled for a tiny buffer:
+// an 8-packet queue at 1 Gbps drains in ~96 µs, so the data-center
+// defaults (100 µs target, 1 ms interval) would never see a standing
+// queue above target. Target and interval shrink by the same ratio.
+func TinyCoDelConfig() CoDelConfig {
+	return CoDelConfig{Target: 20 * time.Microsecond, Interval: 200 * time.Microsecond}
+}
+
 // Config describes which discipline a queue should build and with what
 // parameters. The zero value is DropTail. Config is a value type so a
 // LinkConfig can be reused across links: every queue builds its own

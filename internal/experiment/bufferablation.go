@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"tcptrim/internal/aqm"
 	"tcptrim/internal/httpapp"
 	"tcptrim/internal/metrics"
 	"tcptrim/internal/netsim"
@@ -131,8 +132,15 @@ func (r *BufferResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
+// BufferAblationCaps is the abl-buffer sweep: the tiny-buffer regime
+// (aqm.TinyBufferCaps — a few packets per port, where tail drops turn
+// straight into RTO stalls) ahead of the historical shallow range.
+func BufferAblationCaps() []int {
+	return append(aqm.TinyBufferCaps(), 20, 50, 100, 200)
+}
+
 var _ = register("abl-buffer", func(opts Options, w io.Writer) error {
-	res, err := RunBufferAblation([]Protocol{ProtoTCP, ProtoTRIM}, []int{20, 50, 100, 200}, opts)
+	res, err := RunBufferAblation([]Protocol{ProtoTCP, ProtoTRIM}, BufferAblationCaps(), opts)
 	if err != nil {
 		return err
 	}

@@ -122,6 +122,13 @@ type Options struct {
 	// scenario's default drop-tail switch, preserving historical outputs
 	// byte for byte.
 	AQM string
+	// Recovery optionally swaps the TCP loss-recovery policy in the
+	// runners that honor it (resilience, recoverysweep): a name accepted
+	// by tcp.NewRecoveryPolicy — classic, rack-tlp, tracks. Empty keeps
+	// each scenario's default (Classic), preserving historical outputs
+	// byte for byte. The tracks policy additionally attaches a T-RACKs
+	// agent to the scenario's switches.
+	Recovery string
 	// Shards partitions each simulated network into that many PDES
 	// shards run under conservative synchronization (0 or 1 keeps the
 	// sequential scheduler). Results are byte-identical at any shard
@@ -147,6 +154,30 @@ func (o Options) aqmOverride() (cfg aqm.Config, ok bool, err error) {
 	}
 	cfg, err = aqm.Parse(o.AQM)
 	return cfg, err == nil, err
+}
+
+// recoveryOverride resolves the Recovery option to a canonical policy
+// name; ok is false when the option is unset and the scenario default
+// (Classic) should stand.
+func (o Options) recoveryOverride() (name string, ok bool, err error) {
+	if o.Recovery == "" {
+		return "", false, nil
+	}
+	p, err := tcp.NewRecoveryPolicy(o.Recovery)
+	if err != nil {
+		return "", false, err
+	}
+	return p.Name(), true, nil
+}
+
+// mustRecovery builds a fresh recovery policy for a name that has already
+// been validated (by recoveryOverride or a runner's own axis constants).
+func mustRecovery(name string) tcp.RecoveryPolicy {
+	p, err := tcp.NewRecoveryPolicy(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // saveSeriesCSV writes a series into opts.CSVDir when exporting is

@@ -1,0 +1,369 @@
+package experiment
+
+// recoverysweep: loss-recovery policy × AQM × fault-intensity × buffer
+// matrix. The paper attributes the concurrent-train collapse to recovery
+// degenerating from fast retransmit into RTO stalls; this sweep measures
+// how much of that degeneration is the *recovery policy's* fault by
+// crossing Classic (dup-ACK threshold), RACK-TLP (time-based detection +
+// tail-loss probes), and switch-assisted T-RACKs against drop-tail and
+// CoDel queues, the resilience fault ladder, and the tiny-buffer regime
+// where tail drops are at their worst. MinRTO stays at the stock 200 ms
+// (not the datacenter-tuned 10 ms the resilience matrix uses), so every
+// repair Classic cannot trigger by dup ACKs costs a visible RTO stall —
+// the regime RACK-TLP and T-RACKs were designed for. Every cell runs
+// with the simulator's invariant checker armed.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tcptrim/internal/aqm"
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/metrics"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+	"tcptrim/internal/workload"
+)
+
+// Recovery-sweep scenario constants. The star and fault window mirror the
+// resilience matrix; the workload is lighter (the matrix is 3× larger)
+// and the RTO floor is the stock DefaultMinRTO so timeout stalls dominate
+// whenever fast retransmit fails.
+const (
+	rwServers    = 3
+	rwPerServer  = 100
+	rwFaultStart = rsFaultStart
+	rwFaultEnd   = rsFaultEnd
+	rwDeadline   = 30 * time.Second
+	rwMaxRTO     = 2 * time.Second
+)
+
+// RecoverySweepAQMs is the default queue-discipline axis.
+var RecoverySweepAQMs = []string{"droptail", "codel"}
+
+// RecoverySweepBuffers is the default buffer axis: the resilience
+// matrix's 100-packet port and the tiny-buffer regime.
+var RecoverySweepBuffers = []int{100, aqm.TinyBufferPackets}
+
+// recoverySweepIntensities picks the fault rungs the sweep crosses:
+// clean, moderate, severe (mild adds little over clean here).
+func recoverySweepIntensities() []FaultIntensity {
+	return []FaultIntensity{
+		DefaultFaultIntensities[0],
+		DefaultFaultIntensities[2],
+		DefaultFaultIntensities[3],
+	}
+}
+
+// RecoverySweepRow is one (policy, aqm, intensity, buffer) cell.
+type RecoverySweepRow struct {
+	Policy    string
+	AQM       string
+	Intensity string
+	Buffer    int // packets
+	// WindowMbps is fleet goodput inside the fault window.
+	WindowMbps float64
+	// MeanFCT / P99FCT summarize response completion times.
+	MeanFCT time.Duration
+	P99FCT  time.Duration
+	// Timeouts counts RTO firings; Retrans splits retransmissions by
+	// trigger (the sweep's core signal: how much repair each policy moves
+	// out of the Timeout column).
+	Timeouts int
+	Retrans  httpapp.RetransBreakdown
+	// RecoveryTime is how long past the fault window the last response
+	// completed (0 = drained inside the window, negative = never).
+	RecoveryTime time.Duration
+	Complete     int
+	Total        int
+}
+
+// RecoverySweepResult holds the matrix.
+type RecoverySweepResult struct {
+	Rows                 []RecoverySweepRow
+	FaultStart, FaultEnd time.Duration
+}
+
+// Row returns the cell for the given coordinates, or nil.
+func (r *RecoverySweepResult) Row(policy, aqmName, intensity string, buffer int) *RecoverySweepRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Policy == policy && row.AQM == aqmName &&
+			row.Intensity == intensity && row.Buffer == buffer {
+			return row
+		}
+	}
+	return nil
+}
+
+// RunRecoverySweep crosses policies × AQMs × intensities × buffers, one
+// independent simulation per cell, each seeded via SplitSeed so the
+// matrix is byte-identical regardless of worker or shard count.
+func RunRecoverySweep(policies, aqms []string, intensities []FaultIntensity, buffers []int, opts Options) (*RecoverySweepResult, error) {
+	// An explicit -recovery / -aqm option narrows the matching axis: the
+	// sweep's point is the cross product, but a single-policy run is the
+	// cheap way to chase one cell.
+	if name, ok, err := opts.recoveryOverride(); err != nil {
+		return nil, err
+	} else if ok {
+		policies = []string{name}
+	}
+	if _, ok, err := opts.aqmOverride(); err != nil {
+		return nil, err
+	} else if ok {
+		aqms = []string{opts.AQM}
+	}
+	for _, name := range policies {
+		if _, err := tcp.NewRecoveryPolicy(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range aqms {
+		if _, err := aqm.Parse(name); err != nil {
+			return nil, err
+		}
+	}
+	type cell struct {
+		policy string
+		aqm    string
+		fi     FaultIntensity
+		buffer int
+	}
+	var cells []cell
+	for _, p := range policies {
+		for _, a := range aqms {
+			for _, fi := range intensities {
+				for _, b := range buffers {
+					cells = append(cells, cell{p, a, fi, b})
+				}
+			}
+		}
+	}
+	rows, err := RunSeededTrialsWorkers(len(cells), opts.seed(), trialWorkers(opts.shards()), func(i int, seed int64) (*RecoverySweepRow, error) {
+		c := cells[i]
+		return runRecoveryCell(c.policy, c.aqm, c.fi, c.buffer, seed, opts.shards())
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &RecoverySweepResult{FaultStart: rwFaultStart, FaultEnd: rwFaultEnd}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, *r)
+	}
+	return out, nil
+}
+
+func runRecoveryCell(policy, aqmName string, fi FaultIntensity, buffer int, seed int64, shards int) (*RecoverySweepRow, error) {
+	rng := sim.NewRand(seed)
+	env := newSimEnv(shards)
+	sched := env.sched
+
+	queueCfg := netsim.QueueConfig{CapPackets: buffer}
+	aqmCfg, err := aqm.Parse(aqmName)
+	if err != nil {
+		return nil, err
+	}
+	if aqmCfg.Kind == aqm.CoDel && buffer <= aqm.TinyBufferPackets {
+		aqmCfg.CoDel = aqm.TinyCoDelConfig()
+	}
+	if aqmCfg.Kind == aqm.RED {
+		aqmCfg.RED.Seed = SplitSeed(seed, 4)
+	}
+	queueCfg.AQM = aqmCfg
+
+	star := topology.NewStar(sched, rwServers, netsim.LinkConfig{
+		Rate:  netsim.Gbps,
+		Delay: 50 * time.Microsecond,
+		Queue: queueCfg,
+	})
+	if err := env.partition(star.Shard); err != nil {
+		return nil, err
+	}
+	if policy == "tracks" {
+		// Switch assistance, attached after partitioning so the agent
+		// binds to the ToR's shard scheduler.
+		if _, err := netsim.AttachTRACKs(star.Net, star.Switch, netsim.TRACKsConfig{}); err != nil {
+			return nil, err
+		}
+	}
+	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
+		Senders:     star.Senders,
+		FrontEnd:    star.FrontEnd,
+		NewCC:       func() tcp.CongestionControl { return MustCCWithBaseRTT(ProtoTRIM, ksBaseRTT) },
+		NewRecovery: func() tcp.RecoveryPolicy { return mustRecovery(policy) },
+		Base: tcp.Config{
+			MinRTO:   tcp.DefaultMinRTO,
+			MaxRTO:   rwMaxRTO,
+			SACK:     true,
+			LinkRate: netsim.Gbps,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, srv := range fleet.Servers {
+		trains := workload.ScheduleCount(rng, sim.At(100*time.Millisecond), rwPerServer,
+			workload.UniformSize{Min: 8 << 10, Max: 64 << 10},
+			workload.ExponentialGap{Mean: 4 * time.Millisecond})
+		if err := srv.ScheduleTrains(trains); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fault arming mirrors the resilience matrix: each injector draws from
+	// its own SplitSeed stream on the bottleneck for [rwFaultStart,
+	// rwFaultEnd), flaps included.
+	bn := star.Bottleneck
+	if _, err := sched.At(sim.At(rwFaultStart), func() {
+		if fi.GE.Enabled() {
+			bn.InjectGilbertElliott(fi.GE, sim.NewRand(SplitSeed(seed, 1)))
+		}
+		if fi.ReorderProb > 0 {
+			bn.InjectReorder(fi.ReorderProb, fi.ReorderExtra, sim.NewRand(SplitSeed(seed, 2)))
+		}
+		if fi.DupProb > 0 {
+			bn.InjectDuplicate(fi.DupProb, sim.NewRand(SplitSeed(seed, 3)))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := sched.At(sim.At(rwFaultEnd), func() {
+		bn.InjectGilbertElliott(netsim.GEConfig{}, nil)
+		bn.InjectReorder(0, 0, nil)
+		bn.InjectDuplicate(0, nil)
+	}); err != nil {
+		return nil, err
+	}
+	if fi.FlapCount > 0 {
+		if err := bn.ScheduleFlaps(netsim.FlapConfig{
+			FirstDownAt: sim.At(rwFaultStart + 50*time.Millisecond),
+			DownFor:     fi.FlapDown,
+			UpFor:       fi.FlapUp,
+			Count:       fi.FlapCount,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	var bytesAtStart, bytesAtEnd int64
+	if _, err := sched.At(sim.At(rwFaultStart), func() { bytesAtStart = fleet.TotalDelivered() }); err != nil {
+		return nil, err
+	}
+	if _, err := sched.At(sim.At(rwFaultEnd), func() { bytesAtEnd = fleet.TotalDelivered() }); err != nil {
+		return nil, err
+	}
+
+	// Stop as soon as the backlog drains; timeout-bound cells otherwise
+	// idle to the deadline. The watch is a sync event (it reads every
+	// shard's collector bucket), started after the fault window so the
+	// goodput snapshot above still runs.
+	var watch func()
+	watch = func() {
+		if fleet.Collector.Pending() == 0 {
+			env.stop()
+			return
+		}
+		env.syncAfter(sched, 10*time.Millisecond, watch)
+	}
+	if err := env.syncAt(sched, sim.At(rwFaultEnd), watch); err != nil {
+		return nil, err
+	}
+
+	star.Net.ScheduleInvariantChecks(rsCheckEvery)
+	env.runUntil(sim.At(rwDeadline))
+	star.Net.CheckInvariants()
+
+	row := &RecoverySweepRow{
+		Policy:    policy,
+		AQM:       aqmName,
+		Intensity: fi.Name,
+		Buffer:    buffer,
+		Total:     rwServers * rwPerServer,
+		WindowMbps: float64(bytesAtEnd-bytesAtStart) * 8 /
+			(rwFaultEnd - rwFaultStart).Seconds() / 1e6,
+		Retrans: fleet.Retransmissions(),
+	}
+	for _, c := range fleet.Conns {
+		row.Timeouts += c.Stats().Timeouts
+	}
+	var d metrics.Distribution
+	var last sim.Time
+	for _, resp := range fleet.Collector.Responses() {
+		d.AddDuration(resp.CompletionTime())
+		if resp.Completed > last {
+			last = resp.Completed
+		}
+	}
+	row.Complete = len(fleet.Collector.Responses())
+	row.MeanFCT = secondsToDuration(d.Mean())
+	row.P99FCT = secondsToDuration(d.Percentile(99))
+	switch {
+	case row.Complete < row.Total:
+		row.RecoveryTime = -1
+	case last > sim.At(rwFaultEnd):
+		row.RecoveryTime = last.Sub(sim.At(rwFaultEnd))
+	}
+	return row, nil
+}
+
+// WriteTables renders the matrix with the per-trigger retransmission
+// split.
+func (r *RecoverySweepResult) WriteTables(w io.Writer) error {
+	t := &Table{
+		Title: "Extension: loss-recovery policy sweep (recovery x AQM x faults x buffer)",
+		Header: []string{"recovery", "aqm", "faults", "buf", "goodput", "mean fct",
+			"p99 fct", "timeouts", "rto-rtx", "fast-rtx", "tlp", "spurious",
+			"signals", "recovery", "completed"},
+		Caption: fmt.Sprintf("goodput measured inside the fault window [%v, %v); "+
+			"MinRTO is the stock %v so each repair the policy cannot trigger early costs an RTO stall",
+			r.FaultStart, r.FaultEnd, tcp.DefaultMinRTO),
+	}
+	for _, row := range r.Rows {
+		recovery := row.RecoveryTime.Round(100 * time.Microsecond).String()
+		if row.RecoveryTime < 0 {
+			recovery = "never"
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Policy,
+			row.AQM,
+			row.Intensity,
+			fmt.Sprintf("%d", row.Buffer),
+			fmt.Sprintf("%.1f Mbps", row.WindowMbps),
+			row.MeanFCT.Round(10 * time.Microsecond).String(),
+			row.P99FCT.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%d", row.Timeouts),
+			fmt.Sprintf("%d", row.Retrans.Timeout),
+			fmt.Sprintf("%d", row.Retrans.Fast),
+			fmt.Sprintf("%d", row.Retrans.Probes),
+			fmt.Sprintf("%d", row.Retrans.Spurious),
+			fmt.Sprintf("%d", row.Retrans.Signals),
+			recovery,
+			fmt.Sprintf("%d/%d", row.Complete, row.Total),
+		})
+	}
+	return t.Write(w)
+}
+
+var _ = register("recoverysweep", func(opts Options, w io.Writer) error {
+	res, err := RunRecoverySweep(tcp.RecoveryNames(), RecoverySweepAQMs,
+		recoverySweepIntensities(), RecoverySweepBuffers, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})
+
+// recoverysweep-smoke is the CI chaos check: all three policies on the
+// hardest corner (severe faults, tiny drop-tail buffer), fast enough for
+// every push.
+var _ = register("recoverysweep-smoke", func(opts Options, w io.Writer) error {
+	res, err := RunRecoverySweep(tcp.RecoveryNames(), []string{"droptail"},
+		[]FaultIntensity{DefaultFaultIntensities[3]}, []int{aqm.TinyBufferPackets}, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteTables(w)
+})

@@ -148,8 +148,12 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 	if err != nil {
 		return nil, err
 	}
+	recovery, _, err := opts.recoveryOverride()
+	if err != nil {
+		return nil, err
+	}
 	rows, err := RunSeededTrialsWorkers(len(cells), opts.seed(), trialWorkers(opts.shards()), func(i int, seed int64) (*ResilienceRow, error) {
-		return runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet, opts.shards())
+		return runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet, recovery, opts.shards())
 	})
 	if err != nil {
 		return nil, err
@@ -173,7 +177,7 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 	return out, nil
 }
 
-func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm.Config, aqmSet bool, shards int) (*ResilienceRow, error) {
+func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm.Config, aqmSet bool, recovery string, shards int) (*ResilienceRow, error) {
 	rng := sim.NewRand(seed)
 	env := newSimEnv(shards)
 	sched := env.sched
@@ -197,10 +201,22 @@ func runResilienceCell(proto Protocol, fi FaultIntensity, seed int64, aqmCfg aqm
 	if err := env.partition(star.Shard); err != nil {
 		return nil, err
 	}
+	var newRecovery func() tcp.RecoveryPolicy
+	if recovery != "" {
+		newRecovery = func() tcp.RecoveryPolicy { return mustRecovery(recovery) }
+		if recovery == "tracks" {
+			// Switch assistance: the agent taps the star's ToR (attached
+			// after partitioning so it binds to the switch's shard).
+			if _, err := netsim.AttachTRACKs(star.Net, star.Switch, netsim.TRACKsConfig{}); err != nil {
+				return nil, err
+			}
+		}
+	}
 	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
-		Senders:  star.Senders,
-		FrontEnd: star.FrontEnd,
-		NewCC:    func() tcp.CongestionControl { return MustCCWithBaseRTT(proto, ksBaseRTT) },
+		Senders:     star.Senders,
+		FrontEnd:    star.FrontEnd,
+		NewCC:       func() tcp.CongestionControl { return MustCCWithBaseRTT(proto, ksBaseRTT) },
+		NewRecovery: newRecovery,
 		Base: tcp.Config{
 			MinRTO:   10 * time.Millisecond,
 			SACK:     true,

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"testing"
 
+	"tcptrim/internal/aqm"
 	"tcptrim/internal/conformance"
+	"tcptrim/internal/tcp"
 )
 
 // shardSweep is the shard-count axis every differential test sweeps.
@@ -108,6 +110,25 @@ func TestResilienceMatrixShardInvariant(t *testing.T) {
 		// [:3] spans clean, GE+reorder+dup (mild), and GE+flap+reorder+dup
 		// (moderate) — every fault class the matrix injects.
 		res, err := RunResilience([]Protocol{ProtoTRIM}, DefaultFaultIntensities[:3], opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	})
+}
+
+// TestRecoverySweepShardInvariant covers the recovery × AQM × fault
+// sweep, whose T-RACKs cells route switch-agent signal injections and
+// RACK-TLP cells route probe timers through the sharded scheduler — the
+// rendered matrix (goodput, FCT percentiles, retransmission breakdowns,
+// recovery times) must not depend on the shard count.
+func TestRecoverySweepShardInvariant(t *testing.T) {
+	renderShardSweep(t, "recoverysweep", func(opts Options) ([]byte, error) {
+		res, err := RunRecoverySweep(tcp.RecoveryNames(), []string{"droptail"},
+			[]FaultIntensity{DefaultFaultIntensities[2]},
+			[]int{aqm.TinyBufferPackets}, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -260,6 +260,9 @@ type FleetConfig struct {
 	FrontEnd *netsim.Host
 	// NewCC creates the per-connection window policy (nil → Reno).
 	NewCC func() tcp.CongestionControl
+	// NewRecovery creates the per-connection loss-recovery policy (nil →
+	// the Base config's policy, i.e. Classic when Base leaves it unset).
+	NewRecovery func() tcp.RecoveryPolicy
 	// Base provides shared tcp.Config fields (MinRTO, ECN, LinkRate,
 	// windows); Sender/Receiver/Flow/CC are filled per connection.
 	Base tcp.Config
@@ -292,6 +295,9 @@ func NewFleet(net *netsim.Network, cfg FleetConfig) (*Fleet, error) {
 		if cfg.NewCC != nil {
 			c.CC = cfg.NewCC()
 		}
+		if cfg.NewRecovery != nil {
+			c.Recovery = cfg.NewRecovery()
+		}
 		conn, err := tcp.NewConn(c)
 		if err != nil {
 			return nil, fmt.Errorf("fleet conn %d: %w", i, err)
@@ -323,4 +329,35 @@ func (f *Fleet) TotalDelivered() int64 {
 		total += c.DeliveredBytes()
 	}
 	return total
+}
+
+// RetransBreakdown splits a fleet's retransmissions by what triggered
+// them — the paper's core claim is that concurrent trains push recovery
+// from fast retransmit into RTO stalls, and this is where that shift is
+// measured. Timeout+Fast+Probes == Total; Spurious counts receiver-side
+// duplicates (segments retransmitted although the original arrived) and
+// Signals counts switch recovery signals consumed (T-RACKs).
+type RetransBreakdown struct {
+	Total    int
+	Timeout  int
+	Fast     int
+	Probes   int
+	Spurious int
+	Signals  int
+}
+
+// Retransmissions sums the per-trigger retransmission breakdown across
+// the fleet's connections.
+func (f *Fleet) Retransmissions() RetransBreakdown {
+	var b RetransBreakdown
+	for _, c := range f.Conns {
+		st := c.Stats()
+		b.Total += st.RetransSegs
+		b.Timeout += st.RTORetransSegs
+		b.Fast += st.FastRetransSegs
+		b.Probes += st.TLPProbes
+		b.Spurious += st.SpuriousRetransSegs
+		b.Signals += st.RecoverySignals
+	}
+	return b
 }

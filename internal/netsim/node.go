@@ -112,6 +112,7 @@ type Switch struct {
 	net  *Network
 	id   NodeID
 	name string
+	tap  Handler
 }
 
 var _ Node = (*Switch)(nil)
@@ -122,7 +123,19 @@ func (s *Switch) ID() NodeID { return s.id }
 // Name implements Node.
 func (s *Switch) Name() string { return s.name }
 
+// SetTap installs a passive observer invoked for every packet the switch
+// forwards (the T-RACKs agent's vantage point). Taps must not retain the
+// packet or its Sack slice past their return. Under a sharded network a
+// tap runs on whichever shard delivers the packet to the switch — safe
+// when every pipe into the switch delivers on the switch's own shard, as
+// the stock topology shard plans guarantee (cut pipes deliver on their
+// destination's shard).
+func (s *Switch) SetTap(fn Handler) { s.tap = fn }
+
 // Receive implements Node.
 func (s *Switch) Receive(pkt *Packet, _ *Pipe) {
+	if s.tap != nil {
+		s.tap(pkt)
+	}
 	s.net.forward(s, pkt)
 }

@@ -85,6 +85,13 @@ type Packet struct {
 	// Retransmit marks a retransmitted segment.
 	Retransmit bool
 
+	// RecoverySignal marks a switch-originated loss-recovery signal (a
+	// T-RACKs agent injection, see tracks.go): an ACK-shaped packet
+	// carrying the last cumulative ACK the switch observed for the flow.
+	// It rides the normal pipes — and so is subject to the same faults —
+	// but never originates at an endpoint.
+	RecoverySignal bool
+
 	// Hops counts forwarding steps, guarding against routing loops.
 	Hops int
 

@@ -112,13 +112,13 @@ type Pipe struct {
 	// owned) in global dispatch order. flapDropsDst counts blackholes on
 	// the destination side, whose stats word must not be shared with the
 	// source shard's FlapDrops during parallel segments.
-	dstSched     *sim.Scheduler
-	shard        int32
-	dstShard     int32
+	dstSched      *sim.Scheduler
+	shard         int32
+	dstShard      int32
 	pendingFlight []*Packet
-	pendingHead  int
-	xferFn       func()
-	flapDropsDst int
+	pendingHead   int
+	xferFn        func()
+	flapDropsDst  int
 }
 
 // InjectJitter adds uniform random extra propagation delay in

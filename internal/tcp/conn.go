@@ -68,6 +68,10 @@ type Config struct {
 	// LinkRate is the access-link capacity hint used by delay-based
 	// policies (TCP-TRIM's K); 0 when unknown.
 	LinkRate netsim.Bitrate
+	// Recovery selects the loss-recovery policy; nil means Classic
+	// (dup-ACK threshold + NewReno/SACK recovery, the historical inline
+	// behavior). A policy instance binds to exactly one connection.
+	Recovery RecoveryPolicy
 	// Observer, when non-nil, receives connection lifecycle events
 	// (sends, ACKs, recoveries, timeouts) for tracing.
 	Observer Observer
@@ -84,6 +88,22 @@ type Stats struct {
 	AckedBytes     int64
 	DeliveredBytes int64
 	ECESeen        int
+
+	// Recovery-path breakdown of RetransSegs: RTORetransSegs counts the
+	// post-timeout go-back-N resends, FastRetransSegs the loss-detection
+	// repairs (dup-ACK threshold, SACK holes, RACK markings, signal-
+	// triggered), and TLPProbes the RACK-TLP tail probes. The three sum
+	// to RetransSegs.
+	RTORetransSegs  int
+	FastRetransSegs int
+	TLPProbes       int
+	// SpuriousRetransSegs counts, at the receiver, retransmissions that
+	// carried no bytes the receiver was missing (the data was already
+	// cumulatively delivered or fully inside the out-of-order store).
+	SpuriousRetransSegs int
+	// RecoverySignals counts switch-assisted recovery signals received
+	// (netsim.TRACKsAgent injections), whether or not the policy acted.
+	RecoverySignals int
 }
 
 // TrainResult reports the completion of one application packet train.
@@ -120,11 +140,12 @@ type interval struct{ start, end int64 }
 // which touch disjoint fields — sched/rsched keep each side's timers on
 // its own shard, and the packet-ID counters are split per side.
 type Conn struct {
-	sched  *sim.Scheduler // sender host's scheduler
-	rsched *sim.Scheduler // receiver host's scheduler (delayed-ACK timer)
-	cfg    Config
-	cc     CongestionControl
-	mss    int
+	sched    *sim.Scheduler // sender host's scheduler
+	rsched   *sim.Scheduler // receiver host's scheduler (delayed-ACK timer)
+	cfg      Config
+	cc       CongestionControl
+	recovery RecoveryPolicy
+	mss      int
 
 	// Sender state.
 	sndUna   int64
@@ -158,6 +179,12 @@ type Conn struct {
 	rttvar   time.Duration
 	rtoTimer sim.Timer
 	backoff  int
+	// lastRTOAt is when the most recent RTO fired (zero if none). Karn's
+	// algorithm: while backed off, only an ACK whose echoed timestamp
+	// postdates the timeout — proof a post-RTO (re)transmission was
+	// delivered — may reset the back-off; a straggling ACK of a pre-RTO
+	// original is ambiguous and must not.
+	lastRTOAt sim.Time
 	// rtoFn is c.onRTO bound once at construction so re-arming the timer
 	// does not allocate a fresh method-value closure per segment.
 	rtoFn func()
@@ -220,11 +247,15 @@ func NewConn(cfg Config) (*Conn, error) {
 	if cfg.MaxRTO == 0 {
 		cfg.MaxRTO = DefaultMaxRTO
 	}
+	if cfg.Recovery == nil {
+		cfg.Recovery = NewClassicRecovery()
+	}
 	c := &Conn{
 		sched:    cfg.Sender.host.Scheduler(),
 		rsched:   cfg.Receiver.host.Scheduler(),
 		cfg:      cfg,
 		cc:       cfg.CC,
+		recovery: cfg.Recovery,
 		mss:      cfg.MSS,
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: defaultSsthresh,
@@ -238,6 +269,7 @@ func NewConn(cfg Config) (*Conn, error) {
 	if err := cfg.Receiver.registerReceiver(cfg.Flow, c); err != nil {
 		return nil, err
 	}
+	c.recovery.attach(c)
 	c.cc.Attach(c)
 	return c, nil
 }
@@ -253,6 +285,9 @@ func (c *Conn) Flow() netsim.FlowID { return c.cfg.Flow }
 
 // CC returns the attached congestion-control policy.
 func (c *Conn) CC() CongestionControl { return c.cc }
+
+// Recovery returns the attached loss-recovery policy.
+func (c *Conn) Recovery() RecoveryPolicy { return c.recovery }
 
 // Stats returns a copy of the connection counters.
 func (c *Conn) Stats() Stats { return c.stats }
@@ -432,7 +467,13 @@ func (c *Conn) trySend() {
 			}
 		}
 		usedBonus := !c.fitsWindow()
-		c.sendSegment(c.sndNxt, c.sndNxt+seg, isRtx)
+		kind := sendNew
+		if isRtx {
+			// Below maxSent only after an RTO rewound sndNxt: the
+			// go-back-N sweep is the timeout-driven retransmission path.
+			kind = sendRtxTimeout
+		}
+		c.sendSegment(c.sndNxt, c.sndNxt+seg, kind)
 		c.sndNxt += seg
 		if c.sndNxt > c.maxSent {
 			c.maxSent = c.sndNxt
@@ -455,8 +496,38 @@ func (c *Conn) windowOpen() bool {
 	return c.fitsWindow() || c.bonus > 0
 }
 
+// sendKind classifies a data transmission for the retransmission
+// breakdown counters (Stats.RTORetransSegs / FastRetransSegs /
+// TLPProbes).
+type sendKind uint8
+
+const (
+	sendNew        sendKind = iota // first transmission
+	sendRtxTimeout                 // post-RTO go-back-N resend
+	sendRtxFast                    // loss-detection repair (dup-ACK, SACK hole, RACK, signal)
+	sendRtxProbe                   // RACK-TLP tail-loss probe
+)
+
 // sendSegment emits one data segment onto the network.
-func (c *Conn) sendSegment(seq, end int64, retransmit bool) {
+func (c *Conn) sendSegment(seq, end int64, kind sendKind) {
+	retransmit := kind != sendNew
+	if retransmit && sim.InvariantChecks() {
+		// No recovery policy's targeted repair may resend data already
+		// cumulatively ACKed, nor claim to retransmit data never sent.
+		// The post-RTO go-back-N sweep is exempt on both edges: a delayed
+		// ACK can overtake the rewind (the sweep then re-covers acked
+		// bytes, which the receiver discards and counts as spurious), and
+		// a sweep segment may mix old bytes with data appended after the
+		// rewind, extending past maxSent.
+		if seq >= c.maxSent || end <= seq {
+			panic(fmt.Sprintf("tcp: invalid retransmission [%d,%d) with sndUna=%d maxSent=%d",
+				seq, end, c.sndUna, c.maxSent))
+		}
+		if kind != sendRtxTimeout && (seq < c.sndUna || end > c.maxSent) {
+			panic(fmt.Sprintf("tcp: repair retransmission [%d,%d) outside [sndUna=%d, maxSent=%d]",
+				seq, end, c.sndUna, c.maxSent))
+		}
+	}
 	now := c.sched.Now()
 	var gap time.Duration
 	if c.hasSent {
@@ -480,23 +551,37 @@ func (c *Conn) sendSegment(seq, end int64, retransmit bool) {
 		c.stats.ProbeSegs++
 	}
 	c.stats.SentSegs++
-	if retransmit {
+	switch kind {
+	case sendRtxTimeout:
 		c.stats.RetransSegs++
+		c.stats.RTORetransSegs++
+	case sendRtxFast:
+		c.stats.RetransSegs++
+		c.stats.FastRetransSegs++
+	case sendRtxProbe:
+		c.stats.RetransSegs++
+		c.stats.TLPProbes++
 	}
 	c.hasSent = true
 	c.lastSendAt = now
-	kind := EventSend
+	ev := EventSend
 	if retransmit {
-		kind = EventRetransmit
+		ev = EventRetransmit
 	}
-	c.observe(kind, seq, 0)
+	c.observe(ev, seq, 0)
 	c.cfg.Sender.host.Send(pkt)
 	// RFC 6298: start the timer if it is not running; transmissions must
 	// not postpone an already-armed timer (otherwise a steady stream of
-	// dup-ACK-driven sends can starve the RTO forever).
+	// dup-ACK-driven sends can starve the RTO forever). Note armRTO's
+	// idle test reads sndUna == sndNxt, and trySend advances sndNxt only
+	// after sendSegment returns — so a lone segment sent from an idle
+	// window arms no timer and stalls the connection if it is lost. That
+	// quirk is kept verbatim for byte-identity with the seed figures;
+	// RACK-TLP's tail-loss probe repairs exactly this case.
 	if !c.rtoTimer.Pending() {
 		c.armRTO()
 	}
+	c.recovery.onSent(seq, end, retransmit)
 }
 
 func (c *Conn) nextPktID() uint64 {
@@ -529,6 +614,14 @@ func (c *Conn) observe(kind EventKind, seq, ack int64) {
 
 // handleAck processes an ACK arriving at the sender.
 func (c *Conn) handleAck(pkt *netsim.Packet) {
+	if pkt.RecoverySignal {
+		// Switch-assisted recovery signal (netsim.TRACKsAgent): not a
+		// receiver ACK — no RTT sample, no window-edge bookkeeping. The
+		// policy decides whether to act on it.
+		c.stats.RecoverySignals++
+		c.recovery.onSignal(pkt.Ack)
+		return
+	}
 	now := c.sched.Now()
 	rtt := now.Sub(pkt.Echo)
 	if pkt.ECE {
@@ -559,30 +652,16 @@ func (c *Conn) onAdvancingAck(pkt *netsim.Packet, rtt time.Duration) {
 	if rtt >= minRTTSampleFloor {
 		c.updateRTOEstimator(rtt)
 	}
-	c.backoff = 0
-
-	if c.inRecovery {
-		if pkt.Ack >= c.recover {
-			// Full ACK: leave recovery, deflate to ssthresh.
-			c.inRecovery = false
-			c.dupAcks = 0
-			c.SetCwnd(c.ssthresh)
-			c.observe(EventExitRecovery, 0, pkt.Ack)
-		} else if c.cfg.SACK {
-			// Partial ACK with SACK: the pipe rule keeps the window
-			// honest without NewReno's deflation. The stall at the new
-			// left edge means that hole (or its retransmission) is
-			// missing — repair it.
-			c.retransmitFirstUnacked()
-		} else {
-			// Partial ACK (NewReno): retransmit the next hole, deflate
-			// by the amount acked, re-inflate by one.
-			c.SetCwnd(c.cwnd - float64(ackedSegs) + 1)
-			c.retransmitFirstUnacked()
-		}
-	} else {
-		c.dupAcks = 0
+	if c.backoff == 0 || pkt.Echo >= c.lastRTOAt {
+		// Karn: reset the exponential back-off only when the ACK echoes a
+		// timestamp from after the last timeout — evidence a post-RTO
+		// transmission got through. A late ACK of a pre-RTO original
+		// advances the window but says nothing about the retransmitted
+		// segment's fate, so the back-off must survive it.
+		c.backoff = 0
 	}
+
+	c.recovery.onAckAdvance(pkt, ackedSegs, rtt)
 
 	c.cc.OnAck(AckEvent{
 		Ack:        pkt.Ack,
@@ -621,21 +700,7 @@ func (c *Conn) onDuplicateAck(pkt *netsim.Packet) {
 	c.dupAcks++
 	c.observe(EventDupAck, 0, pkt.Ack)
 	c.cc.OnDupAck()
-	switch {
-	case !c.inRecovery && c.dupAcks == dupAckThreshold:
-		c.enterFastRecovery()
-	case c.inRecovery && c.cfg.SACK:
-		// SACK-directed recovery (RFC 6675 style): no window inflation —
-		// the pipe rule (flight excludes SACKed bytes) already frees
-		// window space as the scoreboard fills. Repair the next lost
-		// hole, then refill with new data.
-		c.retransmitNextHole()
-		c.trySend()
-	case c.inRecovery:
-		// Window inflation keeps the pipe full while the hole repairs.
-		c.SetCwnd(c.cwnd + 1)
-		c.trySend()
-	}
+	c.recovery.onDupAck(pkt)
 }
 
 func (c *Conn) enterFastRecovery() {
@@ -666,7 +731,7 @@ func (c *Conn) retransmitFirstUnacked() {
 	if end <= c.sndUna {
 		return
 	}
-	c.sendSegment(c.sndUna, end, true)
+	c.sendSegment(c.sndUna, end, sendRtxFast)
 	if c.rtxHint < end {
 		c.rtxHint = end
 	}
@@ -683,7 +748,7 @@ func (c *Conn) retransmitNextHole() bool {
 	if end <= seq {
 		return false
 	}
-	c.sendSegment(seq, end, true)
+	c.sendSegment(seq, end, sendRtxFast)
 	c.rtxHint = end
 	return true
 }
@@ -859,6 +924,7 @@ func (c *Conn) onRTO() {
 	if c.sndUna == c.sndNxt {
 		return
 	}
+	c.lastRTOAt = c.sched.Now()
 	c.stats.Timeouts++
 	c.observe(EventTimeout, c.sndUna, 0)
 	c.SetSsthresh(c.cc.SsthreshAfterLoss())
@@ -880,6 +946,7 @@ func (c *Conn) onRTO() {
 	}
 	c.rtxHint = c.sndUna
 	c.sndNxt = c.sndUna
+	c.recovery.onTimeout()
 	c.cc.OnTimeout()
 	c.trySend()
 	c.armRTO()
@@ -895,6 +962,22 @@ func (c *Conn) onRTO() {
 // flush immediately.
 func (c *Conn) handleData(pkt *netsim.Packet) {
 	seq, end := pkt.Seq, pkt.Seq+int64(pkt.Payload)
+	if pkt.Retransmit {
+		// Spurious-retransmission accounting (counter only): the resend
+		// brought nothing the receiver was missing — its bytes were
+		// already delivered in order, or sit whole in an out-of-order
+		// island.
+		if end <= c.rcvNxt {
+			c.stats.SpuriousRetransSegs++
+		} else {
+			for _, iv := range c.ooo {
+				if iv.start <= seq && end <= iv.end {
+					c.stats.SpuriousRetransSegs++
+					break
+				}
+			}
+		}
+	}
 	inOrder := seq <= c.rcvNxt && end > c.rcvNxt
 	switch {
 	case inOrder:

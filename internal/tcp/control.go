@@ -107,6 +107,10 @@ const (
 	EventEnterRecovery
 	EventExitRecovery
 	EventTimeout
+	// EventRecoverySignal marks a switch-assisted recovery signal acted
+	// on by the TRACKs policy; EventTLPProbe a RACK-TLP tail-loss probe.
+	EventRecoverySignal
+	EventTLPProbe
 )
 
 // String implements fmt.Stringer.
@@ -126,6 +130,10 @@ func (k EventKind) String() string {
 		return "exit-recovery"
 	case EventTimeout:
 		return "timeout"
+	case EventRecoverySignal:
+		return "recovery-signal"
+	case EventTLPProbe:
+		return "tlp-probe"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,48 @@
+package tcp
+
+// TRACKs (T-RACKs, arXiv 2102.07477): switch-assisted loss recovery. A
+// per-switch agent (netsim.TRACKsAgent, attached at the access switch)
+// tracks the last cumulative ACK it forwarded for every flow with data
+// outstanding; when a flow's ACK stream stalls for a RACK-style timeout —
+// far below the end-host RTO floor — the switch injects a recovery
+// signal toward the sender. This end-host shim is Classic recovery plus
+// that signal path: a valid signal forces the fast-retransmit/fast-
+// recovery the three duplicate ACKs never arrived to trigger, so
+// tail-drop victims of highly concurrent trains recover in switch-timer
+// time instead of RTO time.
+
+// TRACKs is Classic recovery extended with switch-signal handling.
+// Construct with NewTRACKs; one instance per connection. The policy is
+// inert unless a netsim.TRACKsAgent is attached to a switch on the
+// flow's path.
+type TRACKs struct {
+	classic
+}
+
+// NewTRACKs returns the switch-assisted recovery policy.
+func NewTRACKs() *TRACKs { return &TRACKs{} }
+
+var _ RecoveryPolicy = (*TRACKs)(nil)
+
+// Name implements RecoveryPolicy.
+func (p *TRACKs) Name() string { return "tracks" }
+
+// onSignal reacts to a switch recovery signal: when the signal's ACK
+// still matches the left window edge and data is outstanding, the hole
+// at sndUna has been stuck for the agent's whole timeout — enter fast
+// recovery as if the dup-ACK threshold had been reached. A stale signal
+// (the window moved while the signal was in flight) proves nothing and
+// is dropped; during an open recovery the repair is already under way
+// and the RTO backstop covers a lost repair.
+func (p *TRACKs) onSignal(ack int64) {
+	c := p.c
+	if ack != c.sndUna || c.sndNxt == c.sndUna {
+		return
+	}
+	c.observe(EventRecoverySignal, 0, ack)
+	if c.inRecovery {
+		return
+	}
+	c.enterFastRecovery()
+	c.trySend()
+}
