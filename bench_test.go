@@ -138,6 +138,28 @@ func BenchmarkFig8LargeScaleSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkFig8MillionSmoke regenerates fig8million at its CI scale
+// (10k connections, hybrid fidelity) and reports the scale layer's
+// headline quantities: heap bytes and wall-clock nanoseconds per
+// connection, plus the materialized high-water mark that the flow-level
+// fast-forward keeps orders of magnitude below the fleet size. Run
+// cmd/trimsim -run fig8million for the full million-connection sweep.
+func BenchmarkFig8MillionSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMillion(
+			[]experiment.Protocol{experiment.ProtoTRIM},
+			experiment.MillionSmoke, experiment.Options{Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.Rows[0]
+		b.ReportMetric(row.BytesPerConn, "B/conn")
+		b.ReportMetric(row.NsPerConn, "ns/conn")
+		b.ReportMetric(float64(row.PeakLive), "peak-live")
+		b.ReportMetric(ms(row.ACT), "ACT-ms")
+	}
+}
+
 // BenchmarkFig9Properties regenerates Fig. 9(a)–(d): queue behaviour,
 // drops and goodput for 2–10 concurrent flows.
 func BenchmarkFig9Properties(b *testing.B) {

@@ -26,7 +26,7 @@ import (
 
 // tier1Benchmarks is the default set: the heaviest end-to-end experiment
 // benchmarks that dominate a full run.
-const tier1Benchmarks = "Fig1PacketTrains|Fig5Concurrency|Fig8LargeScale|Fig9Properties|Eq22KSweep"
+const tier1Benchmarks = "Fig1PacketTrains|Fig5Concurrency|Fig8LargeScale|Fig8MillionSmoke|Fig9Properties|Eq22KSweep"
 
 // Result is one benchmark's aggregated measurement (mean across runs).
 type Result struct {

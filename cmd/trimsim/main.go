@@ -17,6 +17,7 @@ import (
 
 	"tcptrim/internal/aqm"
 	"tcptrim/internal/experiment"
+	"tcptrim/internal/hybrid"
 	"tcptrim/internal/tcp"
 )
 
@@ -42,6 +43,8 @@ func run(args []string) error {
 			strings.Join(tcp.RecoveryNames(), ", ")+"; default: each scenario's classic)")
 		shards = fs.Int("shards", 1, "parallel simulation shards per run (1 = sequential; "+
 			"results are byte-identical at any count; more than GOMAXPROCS only adds overhead)")
+		fidSel = fs.String("fidelity", "", "connection simulation fidelity for fig4/fig6/fig8/fig8million ("+
+			strings.Join(hybrid.Names(), ", ")+"; default: packet, except fig8million which defaults to hybrid)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,13 +63,16 @@ func run(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
 	}
+	if _, err := hybrid.ParseFidelity(*fidSel); err != nil {
+		return err
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return fmt.Errorf("create csv dir: %w", err)
 		}
 	}
 	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel,
-		Recovery: *recSel, Shards: *shards}
+		Recovery: *recSel, Shards: *shards, Fidelity: *fidSel}
 	switch {
 	case *list:
 		fmt.Println(strings.Join(experiment.IDs(), "\n"))

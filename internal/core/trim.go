@@ -152,6 +152,13 @@ func (t *Trim) K() time.Duration { return t.k }
 // Probing reports whether a probe exchange is in flight.
 func (t *Trim) Probing() bool { return t.probing }
 
+// Quiescent implements tcp.Quiescer: TRIM holds cross-event state of its
+// own (the probe cycle and its deadline timer); a connection may only be
+// detached between probe exchanges. The inherited window, RTT estimate,
+// and probe history persist in the policy object across detach/attach —
+// the paper's cross-train window inheritance.
+func (t *Trim) Quiescent() bool { return !t.probing && !t.probeTimer.Pending() }
+
 // ProbeRounds returns how many probe exchanges were started.
 func (t *Trim) ProbeRounds() int { return t.probeRounds }
 

@@ -18,6 +18,7 @@ import (
 	"tcptrim/internal/aqm"
 	"tcptrim/internal/cc"
 	"tcptrim/internal/core"
+	"tcptrim/internal/hybrid"
 	"tcptrim/internal/metrics"
 	"tcptrim/internal/tcp"
 )
@@ -136,6 +137,19 @@ type Options struct {
 	// in parallel divide their worker pool by Shards so shard goroutines
 	// never oversubscribe GOMAXPROCS.
 	Shards int
+	// Fidelity selects the connection simulation mode in the runners
+	// that honor it (fig4/fig6 impairment, fig8 large-scale,
+	// fig8million): a name accepted by hybrid.ParseFidelity — packet
+	// (default) or hybrid. Hybrid folds idle connections into a compact
+	// flow store and simulates packets only for connections with an
+	// active train; the differential tests pin that small-scale outputs
+	// stay byte-identical across fidelities.
+	Fidelity string
+}
+
+// fidelity resolves the Fidelity option (empty → packet).
+func (o Options) fidelity() (hybrid.Fidelity, error) {
+	return hybrid.ParseFidelity(o.Fidelity)
 }
 
 // shards normalizes the Shards option (≤1 → 1).

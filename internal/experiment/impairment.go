@@ -5,7 +5,7 @@ import (
 	"io"
 	"time"
 
-	"tcptrim/internal/httpapp"
+	"tcptrim/internal/hybrid"
 	"tcptrim/internal/metrics"
 	"tcptrim/internal/netsim"
 	"tcptrim/internal/sim"
@@ -93,6 +93,10 @@ func RunImpairment(proto Protocol, opts Options) (*ImpairmentResult, error) {
 func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts Options) (*ImpairmentResult, error) {
 	proto := Protocol(label)
 	rng := sim.NewRand(opts.seed())
+	fid, err := opts.fidelity()
+	if err != nil {
+		return nil, err
+	}
 	env := newSimEnv(opts.shards())
 	sched := env.sched
 	link := topology.DefaultStarLink(impairmentBuffer)
@@ -106,7 +110,7 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 		return nil, err
 	}
 
-	fleet, err := httpapp.NewFleet(star.Net, httpapp.FleetConfig{
+	fleet, err := hybrid.NewFleet(star.Net, hybrid.FleetConfig{
 		Senders:  star.Senders,
 		FrontEnd: star.FrontEnd,
 		NewCC:    newCC,
@@ -115,18 +119,22 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 			ECN:      UsesECN(proto),
 			LinkRate: netsim.Gbps,
 		},
+		Fidelity: fid,
+		Sync:     env.syncer(),
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	// 200 small responses per server from 0.1 s.
-	for _, srv := range fleet.Servers {
+	for i := 0; i < impairmentServers; i++ {
 		trains := workload.ScheduleCount(rng, sim.At(impairmentRespStart), impairmentResponses,
 			workload.UniformSize{Min: impairmentRespMin, Max: impairmentRespMax},
 			workload.ExponentialGap{Mean: impairmentRespMean})
-		if err := srv.ScheduleTrains(trains); err != nil {
-			return nil, err
+		for _, tr := range trains {
+			if err := fleet.ScheduleResponse(i, tr.At, tr.Bytes); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -137,9 +145,9 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	res := &ImpairmentResult{Protocol: proto, CwndAtLPTStart: make([]float64, impairmentServers)}
 	lptDone := make([]time.Duration, impairmentServers)
 	lptDoneAt := make([]sim.Time, impairmentServers)
-	for i, conn := range fleet.Conns {
-		i, conn := i, conn
-		if _, err := conn.Scheduler().At(sim.At(impairmentLPTStart), func() {
+	for i := 0; i < impairmentServers; i++ {
+		i := i
+		if err := fleet.ScheduleConnAt(i, sim.At(impairmentLPTStart), func(conn *tcp.Conn) {
 			res.CwndAtLPTStart[i] = conn.Cwnd()
 			conn.SendTrain(impairmentLPTBytes, func(r tcp.TrainResult) {
 				lptDone[i] = r.CompletionTime()
@@ -155,29 +163,35 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	// it reads: delivered bytes and the bottleneck queue are front-end /
 	// switch state on shard 0 (sched), the window is sender state on the
 	// traced connection's shard.
-	traced := fleet.Conns[impairmentServers-1]
+	traced := impairmentServers - 1
 	res.TracedThroughput = metrics.BinnedRate(sched, 0, sim.At(impairmentHorizon),
-		10*time.Millisecond, func() int64 { return traced.DeliveredBytes() })
+		10*time.Millisecond, func() int64 { return fleet.DeliveredBytes(traced) })
 	res.TotalThroughput = metrics.BinnedRate(sched, 0, sim.At(impairmentHorizon),
 		10*time.Millisecond, func() int64 { return fleet.TotalDelivered() })
-	res.TracedCwnd = metrics.Sample(traced.Scheduler(), 0, sim.At(impairmentHorizon),
-		impairmentSampleStep, func() float64 { return traced.Cwnd() })
+	res.TracedCwnd = metrics.Sample(fleet.SchedulerOf(traced), 0, sim.At(impairmentHorizon),
+		impairmentSampleStep, func() float64 { return fleet.Cwnd(traced) })
 	queue := star.Bottleneck.Queue()
 	queueSeries := metrics.Sample(sched, 0, sim.At(impairmentHorizon),
 		100*time.Microsecond, func() float64 { return float64(queue.Len()) })
 
+	if err := fleet.Arm(); err != nil {
+		return nil, err
+	}
 	env.runUntil(sim.At(impairmentHorizon))
+	if err := fleet.Err(); err != nil {
+		return nil, err
+	}
 
 	res.TimeoutsPerConn = make([]int, impairmentServers)
-	for i, conn := range fleet.Conns {
-		res.TimeoutsPerConn[i] = conn.Stats().Timeouts
+	for i := range res.TimeoutsPerConn {
+		res.TimeoutsPerConn[i] = fleet.Stats(i).Timeouts
 	}
 	res.LPTCompletion = lptDone
 	res.QueueMax = int(queueSeries.Max())
 	res.QueueStats = queue.Stats()
 	res.QueueDrops = res.QueueStats.Dropped
 	res.BottleneckFaults = star.Bottleneck.Stats()
-	for _, r := range fleet.Collector.Responses() {
+	for _, r := range fleet.Collector().Responses() {
 		if r.Completed > res.AllDoneBy {
 			res.AllDoneBy = r.Completed
 		}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"tcptrim/internal/httpapp"
+	"tcptrim/internal/hybrid"
 	"tcptrim/internal/metrics"
 	"tcptrim/internal/netsim"
 	"tcptrim/internal/sim"
@@ -75,6 +76,10 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 		}
 	}
 	reps := opts.reps(3)
+	fid, err := opts.fidelity()
+	if err != nil {
+		return nil, err
+	}
 
 	type cell struct {
 		proto Protocol
@@ -87,7 +92,7 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 		}
 	}
 	rows, err := RunTrialsWorkers(len(cells), trialWorkers(opts.shards()), func(i int) (*LargeScaleRow, error) {
-		return runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed(), opts.shards())
+		return runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed(), opts.shards(), fid)
 	})
 	if err != nil {
 		return nil, err
@@ -99,11 +104,11 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 	return out, nil
 }
 
-func runLargeScaleCell(proto Protocol, tors, reps int, seed int64, shards int) (*LargeScaleRow, error) {
+func runLargeScaleCell(proto Protocol, tors, reps int, seed int64, shards int, fid hybrid.Fidelity) (*LargeScaleRow, error) {
 	var acts metrics.Distribution
 	row := &LargeScaleRow{Protocol: proto, ToRs: tors, Servers: tors * 42}
 	for rep := 0; rep < reps; rep++ {
-		if err := runLargeScaleOnce(proto, tors, seed+int64(rep)*7919+int64(tors), shards, &acts, row); err != nil {
+		if err := runLargeScaleOnce(proto, tors, seed+int64(rep)*7919+int64(tors), shards, fid, &acts, row); err != nil {
 			return nil, err
 		}
 	}
@@ -112,7 +117,7 @@ func runLargeScaleCell(proto Protocol, tors, reps int, seed int64, shards int) (
 	return row, nil
 }
 
-func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, acts *metrics.Distribution, row *LargeScaleRow) error {
+func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, fid hybrid.Fidelity, acts *metrics.Distribution, row *LargeScaleRow) error {
 	rng := sim.NewRand(seed)
 	env := newSimEnv(shards)
 	sched := env.sched
@@ -120,7 +125,7 @@ func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, acts *m
 	if err := env.partition(tree.Shard); err != nil {
 		return err
 	}
-	fleet, err := httpapp.NewFleet(tree.Net, httpapp.FleetConfig{
+	fleet, err := hybrid.NewFleet(tree.Net, hybrid.FleetConfig{
 		Senders:  tree.AllServers(),
 		FrontEnd: tree.FrontEnd,
 		NewCC:    func() tcp.CongestionControl { return MustCCWithBaseRTT(proto, lsBaseRTT) },
@@ -129,6 +134,8 @@ func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, acts *m
 			ECN:      UsesECN(proto),
 			LinkRate: netsim.Gbps,
 		},
+		Fidelity: fid,
+		Sync:     env.syncer(),
 	})
 	if err != nil {
 		return err
@@ -138,16 +145,15 @@ func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, acts *m
 	sizes := cappedSizes{inner: workload.PTSizes{}, max: workload.PTLargeBytes}
 
 	perToR := len(tree.Servers[0])
-	var sptConns []*tcp.Conn
+	var sptFlows []int
 	spt := &httpapp.Collector{}
 	idx := 0
 	for t := 0; t < tors; t++ {
 		for s := 0; s < perToR; s++ {
-			srv := fleet.Servers[idx]
-			conn := fleet.Conns[idx]
+			i := idx
 			idx++
 			if s < lsLPTsPer {
-				if err := srv.StartBackgroundFlow(sim.At(lsStart), concBackground); err != nil {
+				if err := fleet.StartBackgroundFlow(i, sim.At(lsStart), concBackground); err != nil {
 					return err
 				}
 				continue
@@ -163,11 +169,10 @@ func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, acts *m
 					offset = lsWindow
 				}
 			}
-			measured := httpapp.NewServer(conn.Scheduler(), conn, "spt", spt)
-			if err := measured.ScheduleResponse(sim.At(lsStart+offset), sizes.Sample(rng)); err != nil {
+			if err := fleet.ScheduleResponseAs(i, sim.At(lsStart+offset), sizes.Sample(rng), "spt", spt); err != nil {
 				return err
 			}
-			sptConns = append(sptConns, conn)
+			sptFlows = append(sptFlows, i)
 		}
 	}
 	// Stop once every SPT completed (a sync event: it reads every
@@ -183,15 +188,21 @@ func runLargeScaleOnce(proto Protocol, tors int, seed int64, shards int, acts *m
 	if err := env.syncAt(sched, sim.At(lsStart+lsWindow), watch); err != nil {
 		return err
 	}
+	if err := fleet.Arm(); err != nil {
+		return err
+	}
 	env.runUntil(sim.At(lsHorizon))
+	if err := fleet.Err(); err != nil {
+		return err
+	}
 
 	for _, r := range spt.Responses() {
 		acts.AddDuration(r.CompletionTime())
 	}
 	row.Completed += len(spt.Responses())
-	row.Scheduled += len(sptConns)
-	for _, c := range sptConns {
-		row.Timeouts += c.Stats().Timeouts
+	row.Scheduled += len(sptFlows)
+	for _, i := range sptFlows {
+		row.Timeouts += fleet.Stats(i).Timeouts
 	}
 	return nil
 }

@@ -199,6 +199,11 @@ func runRecoveryCell(policy, aqmName string, fi FaultIntensity, buffer int, seed
 			MaxRTO:   rwMaxRTO,
 			SACK:     true,
 			LinkRate: netsim.Gbps,
+			// The sweep's fault injectors love the lone-tail corner (a
+			// single trailing segment lost with no dupACK source); keep the
+			// RTO armed there so recovery is bounded by the timer, not the
+			// horizon.
+			ArmRTOOnLoneTail: true,
 		},
 	})
 	if err != nil {

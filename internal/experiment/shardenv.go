@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"tcptrim/internal/hybrid"
 	"tcptrim/internal/sim"
 )
 
@@ -61,6 +62,17 @@ func (e *simEnv) syncAfter(s *sim.Scheduler, d time.Duration, fn func()) {
 		return
 	}
 	e.group.SyncAfter(s, d, fn)
+}
+
+// syncer exposes the shard group as a hybrid fleet's sync-point
+// provider. The explicit nil for sequential runs matters: the fleet
+// checks its Sync field against nil, and a typed-nil *ShardGroup would
+// not compare equal.
+func (e *simEnv) syncer() hybrid.Syncer {
+	if e.group == nil {
+		return nil
+	}
+	return e.group
 }
 
 // stop halts the run; under sharding it is only legal from a sync event.

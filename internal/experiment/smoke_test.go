@@ -63,7 +63,8 @@ func TestRunnersRegistered(t *testing.T) {
 		"conformance", "eq22",
 		"ext-deadline", "ext-delay", "ext-jitter", "ext-loss", "ext-scatter",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig13a",
-		"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig8million", "fig8million-smoke", "fig9",
 		"recoverysweep", "recoverysweep-smoke",
 		"resilience", "resilience-smoke", "table1",
 	}

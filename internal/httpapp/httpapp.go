@@ -68,6 +68,30 @@ func (c *Collector) Add(label string, bytes int, res tcp.TrainResult) {
 	c.bucket(0).add(label, bytes, res)
 }
 
+// Reserve pre-grows the bucket table through shard sh without recording
+// anything, so later parallel-segment Record calls only index. Like all
+// bucket growth it is legal only in single-threaded phases.
+func (c *Collector) Reserve(sh int) { c.bucket(sh) }
+
+// NoteScheduled counts one scheduled-but-not-yet-completed response on
+// shard sh, growing the bucket table as needed — callable only from
+// single-threaded phases (setup, sync events). Record reports the
+// completion. The hybrid fleet uses this pair directly because its
+// releases are not bound to a Server.
+func (c *Collector) NoteScheduled(sh int) {
+	c.bucket(sh).scheduled++
+}
+
+// Record reports a completed response on shard sh, previously announced
+// by NoteScheduled. Unlike NoteScheduled it may run inside a parallel
+// window segment: it indexes the pre-grown bucket table and touches only
+// shard sh's bucket.
+func (c *Collector) Record(sh int, label string, bytes int, res tcp.TrainResult) {
+	b := &c.buckets[sh]
+	b.completed++
+	b.add(label, bytes, res)
+}
+
 func (b *collBucket) add(label string, bytes int, res tcp.TrainResult) {
 	b.responses = append(b.responses, Response{
 		Label:     label,
@@ -258,6 +282,11 @@ type FleetConfig struct {
 	// Senders are the back-end hosts; FrontEnd receives every response.
 	Senders  []*netsim.Host
 	FrontEnd *netsim.Host
+	// ConnsPerSender opens that many persistent connections per sender
+	// host (sharing one transport stack each); 0 means 1, the historical
+	// one-connection-per-server shape. Flow ids and labels number
+	// globally across hosts.
+	ConnsPerSender int
 	// NewCC creates the per-connection window policy (nil → Reno).
 	NewCC func() tcp.CongestionControl
 	// NewRecovery creates the per-connection loss-recovery policy (nil →
@@ -287,24 +316,33 @@ func NewFleet(net *netsim.Network, cfg FleetConfig) (*Fleet, error) {
 		Collector: &Collector{},
 		frontEnd:  tcp.NewStack(net, cfg.FrontEnd),
 	}
-	for i, h := range cfg.Senders {
-		c := cfg.Base
-		c.Sender = tcp.NewStack(net, h)
-		c.Receiver = f.frontEnd
-		c.Flow = cfg.FirstFlow + netsim.FlowID(i)
-		if cfg.NewCC != nil {
-			c.CC = cfg.NewCC()
+	per := cfg.ConnsPerSender
+	if per <= 0 {
+		per = 1
+	}
+	i := 0
+	for _, h := range cfg.Senders {
+		stack := tcp.NewStack(net, h)
+		for k := 0; k < per; k++ {
+			c := cfg.Base
+			c.Sender = stack
+			c.Receiver = f.frontEnd
+			c.Flow = cfg.FirstFlow + netsim.FlowID(i)
+			if cfg.NewCC != nil {
+				c.CC = cfg.NewCC()
+			}
+			if cfg.NewRecovery != nil {
+				c.Recovery = cfg.NewRecovery()
+			}
+			conn, err := tcp.NewConn(c)
+			if err != nil {
+				return nil, fmt.Errorf("fleet conn %d: %w", i, err)
+			}
+			f.Conns = append(f.Conns, conn)
+			label := fmt.Sprintf("%s%d", cfg.LabelPrefix, i+1)
+			f.Servers = append(f.Servers, NewServer(conn.Scheduler(), conn, label, f.Collector))
+			i++
 		}
-		if cfg.NewRecovery != nil {
-			c.Recovery = cfg.NewRecovery()
-		}
-		conn, err := tcp.NewConn(c)
-		if err != nil {
-			return nil, fmt.Errorf("fleet conn %d: %w", i, err)
-		}
-		f.Conns = append(f.Conns, conn)
-		label := fmt.Sprintf("%s%d", cfg.LabelPrefix, i+1)
-		f.Servers = append(f.Servers, NewServer(conn.Scheduler(), conn, label, f.Collector))
 	}
 	return f, nil
 }

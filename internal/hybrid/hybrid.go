@@ -1,0 +1,715 @@
+// Package hybrid is the million-connection scale layer: a fleet of
+// persistent HTTP connections that can run at two fidelities. Packet
+// fidelity materializes every connection up front (delegating to
+// httpapp.Fleet — the historical shape, byte for byte). Hybrid fidelity
+// keeps each connection as a few-dozen-byte record in a struct-of-arrays
+// flow store while it is OFF, advancing the whole idle population in one
+// chained synchronization event per epoch, and drops to packet level
+// only for connections with an ON train: a release materializes the flow
+// into a real tcp.Conn (arena-backed hot state, congestion window and
+// RTT estimator inherited from the store — TRIM's cross-train window
+// inheritance intact), and a per-epoch sweep detaches connections that
+// have gone quiescent back into the store. Small-scale runs are
+// byte-identical across fidelities; the differential tests in
+// internal/experiment prove it per figure.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tcptrim/internal/httpapp"
+	"tcptrim/internal/netsim"
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+)
+
+// Fidelity selects how a fleet simulates its connections.
+type Fidelity string
+
+const (
+	// FidelityPacket materializes every connection at setup; every
+	// segment of every flow is simulated. The historical default.
+	FidelityPacket Fidelity = "packet"
+	// FidelityHybrid keeps OFF-period connections as compact flow-store
+	// records and simulates packets only for connections with an active
+	// train.
+	FidelityHybrid Fidelity = "hybrid"
+)
+
+// ParseFidelity resolves a fidelity name; empty means packet.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch Fidelity(s) {
+	case "", FidelityPacket:
+		return FidelityPacket, nil
+	case FidelityHybrid:
+		return FidelityHybrid, nil
+	}
+	return "", fmt.Errorf("hybrid: unknown fidelity %q (known: %s, %s)",
+		s, FidelityPacket, FidelityHybrid)
+}
+
+// Names returns the accepted fidelity names.
+func Names() []string { return []string{string(FidelityPacket), string(FidelityHybrid)} }
+
+// Syncer schedules a callback as a global synchronization point: every
+// shard quiesced at exactly the callback's instant, cross-shard reads
+// and writes legal. sim.ShardGroup implements it; a nil Syncer means the
+// fleet runs on a sequential scheduler and plain At suffices.
+type Syncer interface {
+	SyncAt(s *sim.Scheduler, t sim.Time, fn func()) (sim.Timer, error)
+}
+
+// DefaultEpoch is the hybrid demote-sweep period: how long a quiescent
+// connection may stay materialized past its last event before the sweep
+// folds it back into the flow store.
+const DefaultEpoch = 10 * time.Millisecond
+
+// FleetConfig configures NewFleet. Senders, FrontEnd, NewCC,
+// NewRecovery, Base, FirstFlow, and LabelPrefix mean exactly what they
+// mean on httpapp.FleetConfig.
+type FleetConfig struct {
+	Senders []*netsim.Host
+	// ConnsPerSender opens that many flows per sender host; 0 means 1.
+	ConnsPerSender int
+	FrontEnd       *netsim.Host
+	NewCC          func() tcp.CongestionControl
+	NewRecovery    func() tcp.RecoveryPolicy
+	Base           tcp.Config
+	FirstFlow      netsim.FlowID
+	LabelPrefix    string
+	// Fidelity selects the simulation mode; empty means packet.
+	Fidelity Fidelity
+	// Sync provides global sync points under sharding (pass the
+	// sim.ShardGroup); nil means the network runs on one sequential
+	// scheduler. Hybrid fidelity requires it to match the network: all
+	// materialize/demote transitions run inside sync events because they
+	// mutate the (shard-0) front-end stack's flow table.
+	Sync Syncer
+	// Epoch is the demote-sweep period; 0 means DefaultEpoch.
+	Epoch time.Duration
+}
+
+// releaseKind discriminates timeline entries.
+const (
+	relResponse = uint8(iota)
+	relBackground
+	relConn
+)
+
+// release is one deferred ON event of a flow.
+type release struct {
+	at    sim.Time
+	flow  int32
+	bytes int
+	kind  uint8
+	label string
+	coll  *httpapp.Collector
+	fn    func(*tcp.Conn)
+}
+
+// flowStore is the struct-of-arrays compact state: one slot per flow,
+// valid when the saved flag is set (the flow has been materialized and
+// detached at least once). Fields mirror tcp.SavedState; splitting them
+// into parallel arrays keeps the hot ones (offset, cwnd) contiguous for
+// the sweep and total-delivered scans and costs nothing for fields a
+// given experiment never touches.
+type flowStore struct {
+	offset     []int64
+	cwnd       []float64
+	ssthresh   []float64
+	srtt       []time.Duration
+	rttvar     []time.Duration
+	lastRTOAt  []sim.Time
+	lastSendAt []sim.Time
+	nextPkt    []uint64
+	nextAck    []uint64
+	backoff    []int32
+	sackRotate []int32
+	flags      []uint8
+	stats      []tcp.Stats
+}
+
+const (
+	flagSaved = uint8(1 << iota)
+	flagHasSent
+	flagRcvCE
+)
+
+func newFlowStore(n int) *flowStore {
+	return &flowStore{
+		offset:     make([]int64, n),
+		cwnd:       make([]float64, n),
+		ssthresh:   make([]float64, n),
+		srtt:       make([]time.Duration, n),
+		rttvar:     make([]time.Duration, n),
+		lastRTOAt:  make([]sim.Time, n),
+		lastSendAt: make([]sim.Time, n),
+		nextPkt:    make([]uint64, n),
+		nextAck:    make([]uint64, n),
+		backoff:    make([]int32, n),
+		sackRotate: make([]int32, n),
+		flags:      make([]uint8, n),
+		stats:      make([]tcp.Stats, n),
+	}
+}
+
+func (s *flowStore) saved(i int32) bool { return s.flags[i]&flagSaved != 0 }
+
+func (s *flowStore) save(i int32, st tcp.SavedState) {
+	s.offset[i] = st.Offset
+	s.cwnd[i] = st.Cwnd
+	s.ssthresh[i] = st.Ssthresh
+	s.srtt[i] = st.SRTT
+	s.rttvar[i] = st.RTTVar
+	s.lastRTOAt[i] = st.LastRTOAt
+	s.lastSendAt[i] = st.LastSendAt
+	s.nextPkt[i] = st.NextPkt
+	s.nextAck[i] = st.NextAck
+	s.backoff[i] = int32(st.Backoff)
+	s.sackRotate[i] = int32(st.SackRotate)
+	flags := flagSaved
+	if st.HasSent {
+		flags |= flagHasSent
+	}
+	if st.RcvCE {
+		flags |= flagRcvCE
+	}
+	s.flags[i] = flags
+	s.stats[i] = st.Stats
+}
+
+func (s *flowStore) load(i int32) tcp.SavedState {
+	return tcp.SavedState{
+		Offset:     s.offset[i],
+		Cwnd:       s.cwnd[i],
+		Ssthresh:   s.ssthresh[i],
+		SRTT:       s.srtt[i],
+		RTTVar:     s.rttvar[i],
+		Backoff:    int(s.backoff[i]),
+		LastRTOAt:  s.lastRTOAt[i],
+		HasSent:    s.flags[i]&flagHasSent != 0,
+		LastSendAt: s.lastSendAt[i],
+		SackRotate: int(s.sackRotate[i]),
+		RcvCE:      s.flags[i]&flagRcvCE != 0,
+		NextPkt:    s.nextPkt[i],
+		NextAck:    s.nextAck[i],
+		Stats:      s.stats[i],
+	}
+}
+
+// Fleet is a group of persistent connections from sender hosts to one
+// front-end, at either fidelity. The scheduling API is the same in both
+// modes, so a runner written against Fleet honors a fidelity option with
+// no further changes; accessors (Cwnd, Stats, DeliveredBytes) resolve
+// through the live connection or the flow store transparently.
+type Fleet struct {
+	cfg   FleetConfig
+	mode  Fidelity
+	epoch time.Duration
+
+	// Packet fidelity.
+	pkt *httpapp.Fleet
+
+	// Hybrid fidelity.
+	net      *netsim.Network
+	frontEnd *tcp.Stack
+	stacks   []*tcp.Stack // one per sender host
+	per      int          // flows per sender
+	drv      *sim.Scheduler
+	coll     *httpapp.Collector
+	store    *flowStore
+	conns    []*tcp.Conn             // non-nil while materialized
+	ccs      []tcp.CongestionControl // persistent per-flow policy
+	recs     []tcp.RecoveryPolicy    // persistent per-flow policy
+	arenas   []*tcp.Arena            // per shard
+	live     [][]int32               // per shard: materialized flows
+	initCwnd float64                 // resolved Base.InitialCwnd
+
+	timeline  []release
+	nextRel   int
+	armed     bool
+	liveCount int
+	peakLive  int
+	firstErr  error
+}
+
+// NewFleet builds the fleet. In packet fidelity every connection exists
+// on return; in hybrid fidelity no connection exists until its first
+// release fires.
+func NewFleet(net *netsim.Network, cfg FleetConfig) (*Fleet, error) {
+	mode, err := ParseFidelity(string(cfg.Fidelity))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FrontEnd == nil {
+		return nil, fmt.Errorf("hybrid: front end required")
+	}
+	if cfg.LabelPrefix == "" {
+		cfg.LabelPrefix = "server"
+	}
+	if cfg.FirstFlow == 0 {
+		cfg.FirstFlow = 1
+	}
+	f := &Fleet{cfg: cfg, mode: mode, epoch: cfg.Epoch}
+	if f.epoch <= 0 {
+		f.epoch = DefaultEpoch
+	}
+	if mode == FidelityPacket {
+		f.pkt, err = httpapp.NewFleet(net, httpapp.FleetConfig{
+			Senders:        cfg.Senders,
+			ConnsPerSender: cfg.ConnsPerSender,
+			FrontEnd:       cfg.FrontEnd,
+			NewCC:          cfg.NewCC,
+			NewRecovery:    cfg.NewRecovery,
+			Base:           cfg.Base,
+			FirstFlow:      cfg.FirstFlow,
+			LabelPrefix:    cfg.LabelPrefix,
+		})
+		return f, err
+	}
+
+	f.per = cfg.ConnsPerSender
+	if f.per <= 0 {
+		f.per = 1
+	}
+	n := len(cfg.Senders) * f.per
+	f.net = net
+	f.frontEnd = tcp.NewStack(net, cfg.FrontEnd)
+	f.drv = cfg.FrontEnd.Scheduler()
+	f.stacks = make([]*tcp.Stack, len(cfg.Senders))
+	for i, h := range cfg.Senders {
+		f.stacks[i] = tcp.NewStack(net, h)
+	}
+	f.coll = &httpapp.Collector{}
+	f.store = newFlowStore(n)
+	f.conns = make([]*tcp.Conn, n)
+	f.ccs = make([]tcp.CongestionControl, n)
+	f.recs = make([]tcp.RecoveryPolicy, n)
+	f.initCwnd = cfg.Base.InitialCwnd
+	if f.initCwnd == 0 {
+		f.initCwnd = tcp.DefaultInitCwnd
+	}
+	// Pre-grow collector buckets and live lists for every sender shard
+	// (single-threaded setup; parallel callbacks only index).
+	for i := range f.stacks {
+		sh := f.shardOfStack(i)
+		for len(f.live) <= sh {
+			f.live = append(f.live, nil)
+		}
+		f.coll.Reserve(sh)
+	}
+	return f, nil
+}
+
+// Fidelity returns the fleet's simulation mode.
+func (f *Fleet) Fidelity() Fidelity { return f.mode }
+
+// NumFlows returns the number of logical connections.
+func (f *Fleet) NumFlows() int {
+	if f.pkt != nil {
+		return len(f.pkt.Conns)
+	}
+	return len(f.conns)
+}
+
+// Collector returns the fleet's default completion collector.
+func (f *Fleet) Collector() *httpapp.Collector {
+	if f.pkt != nil {
+		return f.pkt.Collector
+	}
+	return f.coll
+}
+
+// shardOfStack returns the shard index of sender stack i.
+func (f *Fleet) shardOfStack(i int) int {
+	return f.stacks[i].Host().Scheduler().ShardIndex()
+}
+
+// stackOf returns the sender-stack index owning flow i.
+func (f *Fleet) stackOf(i int32) int { return int(i) / f.per }
+
+// label returns flow i's default collector label.
+func (f *Fleet) label(i int) string {
+	return fmt.Sprintf("%s%d", f.cfg.LabelPrefix, i+1)
+}
+
+// checkFlow validates a flow index.
+func (f *Fleet) checkFlow(i int) error {
+	if i < 0 || i >= f.NumFlows() {
+		return fmt.Errorf("hybrid: flow %d out of range [0, %d)", i, f.NumFlows())
+	}
+	return nil
+}
+
+// ScheduleResponse releases a response on flow i at the given instant,
+// reporting completion to the fleet's collector under the flow's default
+// label.
+func (f *Fleet) ScheduleResponse(i int, at sim.Time, bytes int) error {
+	if err := f.checkFlow(i); err != nil {
+		return err
+	}
+	if f.pkt != nil {
+		return f.pkt.Servers[i].ScheduleResponse(at, bytes)
+	}
+	return f.ScheduleResponseAs(i, at, bytes, f.label(i), f.coll)
+}
+
+// ScheduleResponseAs is ScheduleResponse with an explicit label and
+// collector (the large-scale runner's separate measured-SPT collector).
+func (f *Fleet) ScheduleResponseAs(i int, at sim.Time, bytes int, label string, coll *httpapp.Collector) error {
+	if err := f.checkFlow(i); err != nil {
+		return err
+	}
+	if f.pkt != nil {
+		conn := f.pkt.Conns[i]
+		srv := httpapp.NewServer(conn.Scheduler(), conn, label, coll)
+		return srv.ScheduleResponse(at, bytes)
+	}
+	if f.armed {
+		return fmt.Errorf("hybrid: schedule after Arm")
+	}
+	coll.NoteScheduled(f.shardOfStack(f.stackOf(int32(i))))
+	f.timeline = append(f.timeline, release{
+		at: at, flow: int32(i), bytes: bytes, kind: relResponse,
+		label: label, coll: coll,
+	})
+	return nil
+}
+
+// StartBackgroundFlow releases an effectively endless train on flow i:
+// completion is not collected (measure by throughput). The flow stays
+// materialized for as long as the train runs.
+func (f *Fleet) StartBackgroundFlow(i int, at sim.Time, bytes int) error {
+	if err := f.checkFlow(i); err != nil {
+		return err
+	}
+	if f.pkt != nil {
+		return f.pkt.Servers[i].StartBackgroundFlow(at, bytes)
+	}
+	if f.armed {
+		return fmt.Errorf("hybrid: schedule after Arm")
+	}
+	f.timeline = append(f.timeline, release{
+		at: at, flow: int32(i), bytes: bytes, kind: relBackground,
+	})
+	return nil
+}
+
+// ScheduleConnAt runs fn against flow i's live connection at the given
+// instant, materializing it first in hybrid mode (the impairment
+// runner's window snapshot + long-train release).
+func (f *Fleet) ScheduleConnAt(i int, at sim.Time, fn func(*tcp.Conn)) error {
+	if err := f.checkFlow(i); err != nil {
+		return err
+	}
+	if f.pkt != nil {
+		conn := f.pkt.Conns[i]
+		_, err := conn.Scheduler().At(at, func() { fn(conn) })
+		return err
+	}
+	if f.armed {
+		return fmt.Errorf("hybrid: schedule after Arm")
+	}
+	f.timeline = append(f.timeline, release{at: at, flow: int32(i), kind: relConn, fn: fn})
+	return nil
+}
+
+// Arm finalizes the hybrid release timeline and starts the sync-event
+// driver. Call exactly once, after all scheduling and before the run; in
+// packet mode it is a no-op.
+func (f *Fleet) Arm() error {
+	if f.pkt != nil {
+		return nil
+	}
+	if f.armed {
+		return fmt.Errorf("hybrid: Arm called twice")
+	}
+	f.armed = true
+	// Stable by release instant: equal-instant releases keep their
+	// scheduling order, which is exactly the event-insertion order the
+	// packet fidelity would have used.
+	sort.SliceStable(f.timeline, func(a, b int) bool { return f.timeline[a].at < f.timeline[b].at })
+	if len(f.timeline) == 0 {
+		return nil
+	}
+	return f.syncAt(f.timeline[0].at, f.step)
+}
+
+// syncAt schedules fn at t as a global sync point (plain event when the
+// network is unsharded).
+func (f *Fleet) syncAt(t sim.Time, fn func()) error {
+	if f.cfg.Sync != nil {
+		_, err := f.cfg.Sync.SyncAt(f.drv, t, fn)
+		return err
+	}
+	_, err := f.drv.At(t, fn)
+	return err
+}
+
+// step is the chained driver: demote-sweep, fire due releases, re-arm at
+// the next release or epoch tick — one sync event in flight at any time,
+// so the group's sync registry stays O(1) regardless of timeline length.
+func (f *Fleet) step() {
+	now := f.drv.Now()
+	f.sweep()
+	for f.nextRel < len(f.timeline) && f.timeline[f.nextRel].at <= now {
+		f.fire(&f.timeline[f.nextRel])
+		f.nextRel++
+	}
+	next := sim.End
+	if f.nextRel < len(f.timeline) {
+		next = f.timeline[f.nextRel].at
+	}
+	if f.liveCount > 0 {
+		if et := now.Add(f.epoch); et < next {
+			next = et
+		}
+	}
+	if next == sim.End {
+		// Nothing materialized and no release pending: the fleet is
+		// fully folded into the store and the chain ends.
+		return
+	}
+	if err := f.syncAt(next, f.step); err != nil && f.firstErr == nil {
+		f.firstErr = err
+	}
+}
+
+// sweep detaches every quiescent materialized connection into the flow
+// store. Runs inside a sync event: every shard is halted, so detaching
+// (which unregisters from the shard-0 front-end stack) is safe.
+func (f *Fleet) sweep() {
+	for sh := range f.live {
+		list := f.live[sh]
+		kept := list[:0]
+		for _, i := range list {
+			c := f.conns[i]
+			if !c.Quiescent() {
+				kept = append(kept, i)
+				continue
+			}
+			st, err := c.Detach()
+			if err != nil {
+				if f.firstErr == nil {
+					f.firstErr = fmt.Errorf("hybrid: demote flow %d: %w", i, err)
+				}
+				kept = append(kept, i)
+				continue
+			}
+			f.store.save(i, st)
+			f.conns[i] = nil
+			f.liveCount--
+		}
+		f.live[sh] = kept
+	}
+}
+
+// fire materializes a release's flow and starts its train.
+func (f *Fleet) fire(r *release) {
+	c, err := f.materialize(r.flow)
+	if err != nil {
+		if f.firstErr == nil {
+			f.firstErr = fmt.Errorf("hybrid: release flow %d at %v: %w", r.flow, r.at, err)
+		}
+		return
+	}
+	switch r.kind {
+	case relConn:
+		r.fn(c)
+	case relBackground:
+		c.SendTrain(r.bytes, nil)
+	default:
+		sh := f.shardOfStack(f.stackOf(r.flow))
+		coll, label, bytes := r.coll, r.label, r.bytes
+		c.SendTrain(bytes, func(res tcp.TrainResult) {
+			coll.Record(sh, label, bytes, res)
+		})
+	}
+}
+
+// materialize returns flow i's live connection, creating it from the
+// store (or from scratch on first release) if needed. Runs inside sync
+// events only.
+func (f *Fleet) materialize(i int32) (*tcp.Conn, error) {
+	if c := f.conns[i]; c != nil {
+		return c, nil
+	}
+	cfg := f.cfg.Base
+	si := f.stackOf(i)
+	cfg.Sender = f.stacks[si]
+	cfg.Receiver = f.frontEnd
+	cfg.Flow = f.cfg.FirstFlow + netsim.FlowID(i)
+	sh := f.shardOfStack(si)
+	cfg.Arena = f.arena(sh)
+	if f.ccs[i] == nil && f.cfg.NewCC != nil {
+		f.ccs[i] = f.cfg.NewCC()
+	}
+	if f.ccs[i] != nil {
+		cfg.CC = f.ccs[i]
+	}
+	if f.recs[i] == nil && f.cfg.NewRecovery != nil {
+		f.recs[i] = f.cfg.NewRecovery()
+	}
+	if f.recs[i] != nil {
+		cfg.Recovery = f.recs[i]
+	}
+	var st tcp.SavedState
+	if f.store.saved(i) {
+		st = f.store.load(i)
+		cfg.Restore = &st
+	}
+	c, err := tcp.NewConn(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Capture the defaulted policies so the flow's next life reuses the
+	// same objects (window inheritance lives in them, not the config).
+	f.ccs[i] = c.CC()
+	f.recs[i] = c.Recovery()
+	f.conns[i] = c
+	f.live[sh] = append(f.live[sh], i)
+	f.liveCount++
+	if f.liveCount > f.peakLive {
+		f.peakLive = f.liveCount
+	}
+	return c, nil
+}
+
+// arena returns shard sh's connection arena, creating it on first use.
+func (f *Fleet) arena(sh int) *tcp.Arena {
+	for len(f.arenas) <= sh {
+		f.arenas = append(f.arenas, nil)
+	}
+	if f.arenas[sh] == nil {
+		f.arenas[sh] = tcp.NewArena()
+	}
+	return f.arenas[sh]
+}
+
+// Err returns the first asynchronous error the driver hit (a failed
+// materialize or re-arm); runners check it after the run.
+func (f *Fleet) Err() error { return f.firstErr }
+
+// Live returns the number of currently materialized connections
+// (NumFlows in packet mode).
+func (f *Fleet) Live() int {
+	if f.pkt != nil {
+		return len(f.pkt.Conns)
+	}
+	return f.liveCount
+}
+
+// PeakLive returns the high-water mark of simultaneously materialized
+// connections (NumFlows in packet mode).
+func (f *Fleet) PeakLive() int {
+	if f.pkt != nil {
+		return len(f.pkt.Conns)
+	}
+	return f.peakLive
+}
+
+// ArenaCap returns the total hot-state slots ever allocated across the
+// sender-shard arenas — the materialized-connection high-water mark as
+// the arena saw it. Zero in packet mode, where connections use
+// standalone hot state.
+func (f *Fleet) ArenaCap() int {
+	n := 0
+	for _, a := range f.arenas {
+		if a != nil {
+			n += a.Cap()
+		}
+	}
+	return n
+}
+
+// SchedulerOf returns the scheduler owning flow i's sender-side state
+// (for samplers that must live on the sender's shard).
+func (f *Fleet) SchedulerOf(i int) *sim.Scheduler {
+	if f.pkt != nil {
+		return f.pkt.Conns[i].Scheduler()
+	}
+	return f.stacks[f.stackOf(int32(i))].Host().Scheduler()
+}
+
+// Cwnd returns flow i's congestion window in segments: the live value
+// when materialized, the inherited store value when folded, the initial
+// window before the first release. A demoted flow's window cannot change
+// while OFF, so the three sources agree with what packet fidelity would
+// report.
+func (f *Fleet) Cwnd(i int) float64 {
+	if f.pkt != nil {
+		return f.pkt.Conns[i].Cwnd()
+	}
+	if c := f.conns[i]; c != nil {
+		return c.Cwnd()
+	}
+	if f.store.saved(int32(i)) {
+		return f.store.cwnd[i]
+	}
+	return f.initCwnd
+}
+
+// DeliveredBytes returns flow i's receiver-side delivered byte count.
+func (f *Fleet) DeliveredBytes(i int) int64 {
+	if f.pkt != nil {
+		return f.pkt.Conns[i].DeliveredBytes()
+	}
+	if c := f.conns[i]; c != nil {
+		return c.DeliveredBytes()
+	}
+	return f.store.offset[i]
+}
+
+// TotalDelivered sums delivered bytes across all flows.
+func (f *Fleet) TotalDelivered() int64 {
+	if f.pkt != nil {
+		return f.pkt.TotalDelivered()
+	}
+	var total int64
+	for i := range f.conns {
+		if c := f.conns[i]; c != nil {
+			total += c.DeliveredBytes()
+		} else {
+			total += f.store.offset[i]
+		}
+	}
+	return total
+}
+
+// Stats returns flow i's lifetime counters (live or folded).
+func (f *Fleet) Stats(i int) tcp.Stats {
+	if f.pkt != nil {
+		return f.pkt.Conns[i].Stats()
+	}
+	if c := f.conns[i]; c != nil {
+		return c.Stats()
+	}
+	return f.store.stats[i]
+}
+
+// TotalTimeouts sums TCP timeouts across the fleet.
+func (f *Fleet) TotalTimeouts() int {
+	total := 0
+	for i := 0; i < f.NumFlows(); i++ {
+		total += f.Stats(i).Timeouts
+	}
+	return total
+}
+
+// Retransmissions sums the per-trigger retransmission breakdown across
+// the fleet (see httpapp.RetransBreakdown).
+func (f *Fleet) Retransmissions() httpapp.RetransBreakdown {
+	var b httpapp.RetransBreakdown
+	for i := 0; i < f.NumFlows(); i++ {
+		st := f.Stats(i)
+		b.Total += st.RetransSegs
+		b.Timeout += st.RTORetransSegs
+		b.Fast += st.FastRetransSegs
+		b.Probes += st.TLPProbes
+		b.Spurious += st.SpuriousRetransSegs
+		b.Signals += st.RecoverySignals
+	}
+	return b
+}

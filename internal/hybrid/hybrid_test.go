@@ -1,0 +1,308 @@
+package hybrid
+
+// Differential coverage for the scale layer: a hybrid-fidelity fleet must
+// be observationally identical to the packet-fidelity fleet on the same
+// workload — same completion records at the same nanoseconds, same
+// per-flow delivered bytes, stats, and windows — while actually folding
+// idle connections into the flow store (peak live well below the fleet
+// size). The fuzz target drives random fleets through both fidelities in
+// lockstep.
+
+import (
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+	"tcptrim/internal/tcp"
+	"tcptrim/internal/topology"
+)
+
+func TestParseFidelity(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Fidelity
+		ok   bool
+	}{
+		{"", FidelityPacket, true},
+		{"packet", FidelityPacket, true},
+		{"hybrid", FidelityHybrid, true},
+		{"flow", "", false},
+	} {
+		got, err := ParseFidelity(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseFidelity(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// trainSpec is one scheduled response in a differential scenario.
+type trainSpec struct {
+	flow  int
+	at    sim.Time
+	bytes int
+}
+
+// buildFleet wires a star network with n senders × per connections at the
+// given fidelity on a fresh sequential scheduler.
+func buildFleet(tb testing.TB, n, per int, base tcp.Config, fid Fidelity, epoch time.Duration) (*Fleet, *sim.Scheduler) {
+	tb.Helper()
+	sched := sim.NewScheduler()
+	star := topology.NewStar(sched, n, topology.DefaultStarLink(100))
+	fleet, err := NewFleet(star.Net, FleetConfig{
+		Senders:        star.Senders,
+		ConnsPerSender: per,
+		FrontEnd:       star.FrontEnd,
+		Base:           base,
+		Fidelity:       fid,
+		Epoch:          epoch,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fleet, sched
+}
+
+// runScenario executes the same schedule at both fidelities and returns
+// the two fleets after running to horizon.
+func runScenario(tb testing.TB, n, per int, base tcp.Config, epoch time.Duration,
+	trains []trainSpec, horizon sim.Time) (pkt, hyb *Fleet) {
+	tb.Helper()
+	fleets := make([]*Fleet, 2)
+	for fi, fid := range []Fidelity{FidelityPacket, FidelityHybrid} {
+		fleet, sched := buildFleet(tb, n, per, base, fid, epoch)
+		for _, tr := range trains {
+			if err := fleet.ScheduleResponse(tr.flow, tr.at, tr.bytes); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if err := fleet.Arm(); err != nil {
+			tb.Fatal(err)
+		}
+		sched.RunUntil(horizon)
+		if err := fleet.Err(); err != nil {
+			tb.Fatalf("%s fleet error: %v", fid, err)
+		}
+		fleets[fi] = fleet
+	}
+	return fleets[0], fleets[1]
+}
+
+// compareFleets asserts observational identity between the two fidelities.
+func compareFleets(tb testing.TB, pkt, hyb *Fleet) {
+	tb.Helper()
+	pr, hr := pkt.Collector().Responses(), hyb.Collector().Responses()
+	if len(pr) != len(hr) {
+		tb.Fatalf("completions: packet %d, hybrid %d", len(pr), len(hr))
+	}
+	for i := range pr {
+		if pr[i] != hr[i] {
+			tb.Fatalf("completion %d: packet %+v, hybrid %+v", i, pr[i], hr[i])
+		}
+	}
+	if pkt.Collector().Pending() != hyb.Collector().Pending() {
+		tb.Fatalf("pending: packet %d, hybrid %d",
+			pkt.Collector().Pending(), hyb.Collector().Pending())
+	}
+	for i := 0; i < pkt.NumFlows(); i++ {
+		if p, h := pkt.DeliveredBytes(i), hyb.DeliveredBytes(i); p != h {
+			tb.Fatalf("flow %d delivered: packet %d, hybrid %d", i, p, h)
+		}
+		if p, h := pkt.Stats(i), hyb.Stats(i); p != h {
+			tb.Fatalf("flow %d stats: packet %+v, hybrid %+v", i, p, h)
+		}
+		if p, h := pkt.Cwnd(i), hyb.Cwnd(i); p != h {
+			tb.Fatalf("flow %d cwnd: packet %v, hybrid %v", i, p, h)
+		}
+	}
+	if p, h := pkt.TotalDelivered(), hyb.TotalDelivered(); p != h {
+		tb.Fatalf("total delivered: packet %d, hybrid %d", p, h)
+	}
+	if p, h := pkt.Retransmissions(), hyb.Retransmissions(); p != h {
+		tb.Fatalf("retrans: packet %+v, hybrid %+v", p, h)
+	}
+}
+
+func TestHybridLockstepStaggered(t *testing.T) {
+	// 3 hosts × 2 conns; trains staggered so the hybrid fleet demotes
+	// most flows most of the time.
+	var trains []trainSpec
+	for i := 0; i < 6; i++ {
+		trains = append(trains, trainSpec{
+			flow:  i,
+			at:    sim.At(time.Duration(5+40*i)*time.Millisecond + time.Duration(i)),
+			bytes: (3 + 2*i) * tcp.DefaultMSS,
+		})
+		trains = append(trains, trainSpec{
+			flow:  i,
+			at:    sim.At(time.Duration(305+40*i)*time.Millisecond + time.Duration(i)),
+			bytes: 5 * tcp.DefaultMSS,
+		})
+	}
+	pkt, hyb := runScenario(t, 3, 2, tcp.Config{}, 5*time.Millisecond,
+		trains, sim.At(2*time.Second))
+	compareFleets(t, pkt, hyb)
+	if hyb.Live() != 0 {
+		t.Errorf("hybrid still has %d live conns after drain", hyb.Live())
+	}
+	if hyb.PeakLive() == 0 || hyb.PeakLive() >= hyb.NumFlows() {
+		t.Errorf("peak live = %d of %d flows; wanted partial materialization",
+			hyb.PeakLive(), hyb.NumFlows())
+	}
+	if pkt.PeakLive() != pkt.NumFlows() {
+		t.Errorf("packet peak live = %d, want all %d", pkt.PeakLive(), pkt.NumFlows())
+	}
+	// The second train on each flow inherited the first train's window
+	// through the store: the final window must exceed the initial one.
+	if hyb.Cwnd(0) <= tcp.DefaultInitCwnd {
+		t.Errorf("flow 0 cwnd %v never grew past initial %v — no inheritance?",
+			hyb.Cwnd(0), float64(tcp.DefaultInitCwnd))
+	}
+}
+
+func TestHybridDemotesBetweenTrains(t *testing.T) {
+	trains := []trainSpec{
+		{flow: 0, at: sim.At(5 * time.Millisecond), bytes: 4 * tcp.DefaultMSS},
+		{flow: 0, at: sim.At(500 * time.Millisecond), bytes: 4 * tcp.DefaultMSS},
+	}
+	hyb, sched := buildFleet(t, 1, 1, tcp.Config{}, FidelityHybrid, 5*time.Millisecond)
+	for _, tr := range trains {
+		if err := hyb.ScheduleResponse(tr.flow, tr.at, tr.bytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hyb.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.At(250 * time.Millisecond))
+	if hyb.Live() != 0 {
+		t.Fatalf("flow not demoted between trains: %d live", hyb.Live())
+	}
+	if hyb.Cwnd(0) <= tcp.DefaultInitCwnd {
+		t.Errorf("demoted cwnd %v did not retain growth", hyb.Cwnd(0))
+	}
+	if hyb.DeliveredBytes(0) != 4*int64(tcp.DefaultMSS) {
+		t.Errorf("demoted delivered = %d", hyb.DeliveredBytes(0))
+	}
+	sched.RunUntil(sim.At(2 * time.Second))
+	if err := hyb.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hyb.DeliveredBytes(0); got != 8*int64(tcp.DefaultMSS) {
+		t.Errorf("final delivered = %d", got)
+	}
+	if n := len(hyb.Collector().Responses()); n != 2 {
+		t.Errorf("completions = %d", n)
+	}
+}
+
+func TestHybridBackgroundFlowStaysLive(t *testing.T) {
+	hyb, sched := buildFleet(t, 2, 1, tcp.Config{}, FidelityHybrid, 5*time.Millisecond)
+	if err := hyb.StartBackgroundFlow(0, sim.At(time.Millisecond), 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if err := hyb.ScheduleResponse(1, sim.At(time.Millisecond), 2*tcp.DefaultMSS); err != nil {
+		t.Fatal(err)
+	}
+	if err := hyb.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.At(time.Second))
+	if hyb.Live() != 1 {
+		t.Errorf("live = %d, want 1 (only the background flow)", hyb.Live())
+	}
+	if hyb.DeliveredBytes(0) == 0 {
+		t.Error("background flow idle")
+	}
+}
+
+func TestHybridScheduleConnAt(t *testing.T) {
+	hyb, sched := buildFleet(t, 1, 1, tcp.Config{}, FidelityHybrid, 5*time.Millisecond)
+	var sawCwnd float64
+	var sawAt sim.Time
+	err := hyb.ScheduleConnAt(0, sim.At(10*time.Millisecond), func(c *tcp.Conn) {
+		sawCwnd = c.Cwnd()
+		sawAt = c.Now()
+		c.SendTrain(3*tcp.DefaultMSS, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hyb.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.At(time.Second))
+	if sawAt != sim.At(10*time.Millisecond) {
+		t.Errorf("callback ran at %v", sawAt)
+	}
+	if sawCwnd != tcp.DefaultInitCwnd {
+		t.Errorf("fresh conn cwnd %v", sawCwnd)
+	}
+	if hyb.DeliveredBytes(0) != 3*int64(tcp.DefaultMSS) {
+		t.Errorf("delivered = %d", hyb.DeliveredBytes(0))
+	}
+}
+
+func TestHybridScheduleAfterArm(t *testing.T) {
+	hyb, _ := buildFleet(t, 1, 1, tcp.Config{}, FidelityHybrid, 0)
+	if err := hyb.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hyb.ScheduleResponse(0, sim.At(time.Millisecond), tcp.DefaultMSS); err == nil {
+		t.Error("schedule after Arm succeeded")
+	}
+	if err := hyb.Arm(); err == nil {
+		t.Error("double Arm succeeded")
+	}
+}
+
+func TestHybridFlowRangeChecks(t *testing.T) {
+	for _, fid := range []Fidelity{FidelityPacket, FidelityHybrid} {
+		fleet, _ := buildFleet(t, 2, 1, tcp.Config{}, fid, 0)
+		if err := fleet.ScheduleResponse(2, sim.At(time.Millisecond), 1); err == nil {
+			t.Errorf("%s: out-of-range flow accepted", fid)
+		}
+		if err := fleet.StartBackgroundFlow(-1, sim.At(time.Millisecond), 1); err == nil {
+			t.Errorf("%s: negative flow accepted", fid)
+		}
+	}
+}
+
+// FuzzHybridFleetLockstep drives randomized fleets through both
+// fidelities and demands observational identity. Release instants get a
+// unique sub-microsecond offset per train so that no release ever
+// coincides exactly with another flow's packet events — exact-nanosecond
+// ties are the one place event insertion order differs by construction
+// between the fidelities (packet fidelity registers releases at setup,
+// hybrid fires them from the chained sync event).
+func FuzzHybridFleetLockstep(f *testing.F) {
+	for seed := int64(1); seed <= 5; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := sim.NewRand(seed)
+		n := 1 + int(rng.Int63n(4))
+		per := 1 + int(rng.Int63n(3))
+		epoch := time.Duration(1+rng.Int63n(20)) * time.Millisecond
+		var trains []trainSpec
+		for flow := 0; flow < n*per; flow++ {
+			k := int(rng.Int63n(3))
+			for j := 0; j < k; j++ {
+				trains = append(trains, trainSpec{
+					flow: flow,
+					at: sim.At(time.Duration(1+rng.Int63n(400))*time.Millisecond +
+						time.Duration(len(trains)+1)),
+					bytes: 1 + int(rng.Int63n(20*tcp.DefaultMSS)),
+				})
+			}
+		}
+		if len(trains) == 0 {
+			trains = append(trains, trainSpec{flow: 0, at: sim.At(time.Millisecond), bytes: 1})
+		}
+		pkt, hyb := runScenario(t, n, per, tcp.Config{}, epoch,
+			trains, sim.At(3*time.Second))
+		compareFleets(t, pkt, hyb)
+		if hyb.Live() != 0 {
+			t.Errorf("seed %d: %d conns still live", seed, hyb.Live())
+		}
+	})
+}

@@ -57,6 +57,14 @@ func (s *Summary) Std() float64 {
 	return math.Sqrt(s.m2 / float64(s.n-1))
 }
 
+// DefaultSampleCap is the sample count beyond which a Distribution stops
+// retaining raw samples and folds into the bounded streaming-quantile
+// sketch (see sketch.go). Every reproduced figure stays far below it, so
+// pinned outputs remain exact and byte-identical; million-connection FCT
+// collections cross it and pay ≤ ~0.6% relative quantile error for O(1)
+// memory.
+const DefaultSampleCap = 1 << 16
+
 // Distribution retains samples for percentile and CDF queries. Order
 // statistics are maintained incrementally: the sorted prefix survives
 // across queries, and samples added since the last query are sorted and
@@ -64,40 +72,90 @@ func (s *Summary) Std() float64 {
 // O(n log n) re-sort). Sum, min, and max are tracked streaming, so Mean,
 // Min, and Max never sort at all — the experiment summary stages
 // interleave Adds and queries heavily, which made re-sorting hot.
+//
+// Beyond the sample cap (SetSampleCap; DefaultSampleCap when unset) the
+// raw samples fold into a deterministic log-linear histogram and memory
+// stops growing: quantile queries then carry a small bounded relative
+// error while Count, Mean, Min, and Max stay exact.
 type Distribution struct {
 	samples []float64
 	// sorted is the length of the sorted prefix of samples.
 	sorted int
 	// scratch is the merge buffer for ensureSorted, reused across queries.
 	scratch  []float64
+	n        int
 	sum      float64
 	min, max float64
+	// capHint is the configured sample cap: 0 means DefaultSampleCap,
+	// negative means never engage the sketch.
+	capHint int
+	sketch  *quantileSketch
 }
+
+// SetSampleCap bounds retained samples: crossing cap switches the
+// distribution to the streaming sketch. cap <= 0 disables the bound
+// (exact forever). Call before samples accumulate; lowering the cap
+// below the current count engages on the next Add.
+func (d *Distribution) SetSampleCap(cap int) {
+	if cap <= 0 {
+		d.capHint = -1
+		return
+	}
+	d.capHint = cap
+}
+
+// Sketched reports whether the distribution has folded into the bounded
+// sketch (quantiles approximate, memory bounded).
+func (d *Distribution) Sketched() bool { return d.sketch != nil }
 
 // Add appends one sample.
 func (d *Distribution) Add(x float64) {
-	if len(d.samples) == 0 || x < d.min {
+	if d.n == 0 || x < d.min {
 		d.min = x
 	}
-	if len(d.samples) == 0 || x > d.max {
+	if d.n == 0 || x > d.max {
 		d.max = x
 	}
 	d.sum += x
+	d.n++
+	if d.sketch != nil {
+		d.sketch.add(x)
+		return
+	}
 	d.samples = append(d.samples, x)
+	cap := d.capHint
+	if cap == 0 {
+		cap = DefaultSampleCap
+	}
+	if cap > 0 && len(d.samples) >= cap {
+		d.engageSketch()
+	}
+}
+
+// engageSketch folds the retained samples into the histogram and frees
+// them; from here on memory is O(1) in the sample count.
+func (d *Distribution) engageSketch() {
+	d.sketch = newQuantileSketch()
+	for _, x := range d.samples {
+		d.sketch.add(x)
+	}
+	d.samples = nil
+	d.scratch = nil
+	d.sorted = 0
 }
 
 // AddDuration appends a duration sample in seconds.
 func (d *Distribution) AddDuration(v time.Duration) { d.Add(v.Seconds()) }
 
 // Count returns the number of samples.
-func (d *Distribution) Count() int { return len(d.samples) }
+func (d *Distribution) Count() int { return d.n }
 
 // Mean returns the sample mean (0 when empty).
 func (d *Distribution) Mean() float64 {
-	if len(d.samples) == 0 {
+	if d.n == 0 {
 		return 0
 	}
-	return d.sum / float64(len(d.samples))
+	return d.sum / float64(d.n)
 }
 
 // Min returns the smallest sample (0 when empty).
@@ -113,8 +171,19 @@ func (d *Distribution) Max() float64 { return d.max }
 // maximum, and p50 of an even-sized sample is the average of the two
 // middle values. Returns 0 when empty.
 func (d *Distribution) Percentile(p float64) float64 {
-	if len(d.samples) == 0 {
+	if d.n == 0 {
 		return 0
+	}
+	if d.sketch != nil {
+		if p <= 0 {
+			return d.min
+		}
+		if p >= 100 {
+			return d.max
+		}
+		// Bucket resolution is far below interpolation resolution, so the
+		// sketch answers with the bucket holding the floor of the rank.
+		return d.sketch.rank(int64(p/100*float64(d.n-1)), d.min, d.max)
 	}
 	d.ensureSorted()
 	if p <= 0 {
@@ -140,9 +209,23 @@ type CDFPoint struct {
 
 // CDF returns the empirical CDF at up to points evenly spaced ranks.
 func (d *Distribution) CDF(points int) []CDFPoint {
-	n := len(d.samples)
+	n := d.n
 	if n == 0 || points <= 0 {
 		return nil
+	}
+	if d.sketch != nil {
+		if points > n {
+			points = n
+		}
+		out := make([]CDFPoint, 0, points)
+		for i := 1; i <= points; i++ {
+			idx := i*n/points - 1
+			out = append(out, CDFPoint{
+				Value:    d.sketch.rank(int64(idx), d.min, d.max),
+				Fraction: float64(idx+1) / float64(n),
+			})
+		}
+		return out
 	}
 	d.ensureSorted()
 	if points > n {
@@ -161,8 +244,17 @@ func (d *Distribution) CDF(points int) []CDFPoint {
 
 // FractionBelow returns the fraction of samples ≤ x.
 func (d *Distribution) FractionBelow(x float64) float64 {
-	if len(d.samples) == 0 {
+	if d.n == 0 {
 		return 0
+	}
+	if d.sketch != nil {
+		switch {
+		case x < d.min:
+			return 0
+		case x >= d.max:
+			return 1
+		}
+		return d.sketch.fractionBelow(x)
 	}
 	d.ensureSorted()
 	idx := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))

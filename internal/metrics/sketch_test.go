@@ -1,0 +1,165 @@
+package metrics
+
+// Streaming-quantile backend coverage: engagement mechanics, exactness of
+// the streamed moments, and the pinned error-bound table — the sketch's
+// quantiles must stay within the documented relative error of the exact
+// order statistics on the same fixture.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tcptrim/internal/sim"
+)
+
+// sketchFixture feeds n deterministic samples spanning several orders of
+// magnitude (log-uniform in [10µs, 10s], the FCT regime) to both an
+// exact and a capped distribution.
+func sketchFixture(n, cap int) (exact, capped *Distribution) {
+	exact = &Distribution{}
+	exact.SetSampleCap(-1)
+	capped = &Distribution{}
+	capped.SetSampleCap(cap)
+	rng := sim.NewRand(1234)
+	for i := 0; i < n; i++ {
+		u := float64(rng.Int63()%1_000_000) / 1_000_000
+		x := 1e-5 * math.Pow(1e6, u) // 10µs .. 10s, log-uniform
+		exact.Add(x)
+		capped.Add(x)
+	}
+	return exact, capped
+}
+
+func TestSketchPercentileErrorBounds(t *testing.T) {
+	exact, capped := sketchFixture(50_000, 1000)
+	if !capped.Sketched() {
+		t.Fatal("capped distribution never engaged its sketch")
+	}
+	if exact.Sketched() {
+		t.Fatal("uncapped distribution engaged a sketch")
+	}
+	for _, p := range []float64{0, 1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+		want, got := exact.Percentile(p), capped.Percentile(p)
+		relErr := math.Abs(got-want) / want
+		if relErr > 0.01 {
+			t.Errorf("p%v: sketch %.6g vs exact %.6g (rel err %.3f%%, bound 1%%)",
+				p, got, want, relErr*100)
+		}
+	}
+	// The streamed moments never degrade.
+	if capped.Count() != exact.Count() {
+		t.Errorf("Count %d != %d", capped.Count(), exact.Count())
+	}
+	if capped.Min() != exact.Min() || capped.Max() != exact.Max() {
+		t.Errorf("Min/Max drifted: %g/%g vs %g/%g",
+			capped.Min(), capped.Max(), exact.Min(), exact.Max())
+	}
+	if math.Abs(capped.Mean()-exact.Mean()) > 1e-12*exact.Mean() {
+		t.Errorf("Mean %g != %g", capped.Mean(), exact.Mean())
+	}
+}
+
+// TestSketchPinnedTable pins exact sketch outputs on a tiny fixed input:
+// any change to the bucket mapping or rank walk shows up here first.
+func TestSketchPinnedTable(t *testing.T) {
+	d := &Distribution{}
+	d.SetSampleCap(4)
+	for _, ms := range []float64{1, 2, 4, 8, 16, 32, 64, 128} {
+		d.AddDuration(time.Duration(ms * float64(time.Millisecond)))
+	}
+	if !d.Sketched() {
+		t.Fatal("sketch not engaged at cap 4")
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		// 8ms = 0.512 × 2^-6 → sub-bucket 1 of octave -6, midpoint
+		// (0.5078125 + 0.515625)/2 × 2^-6 = 0.00799560546875; 32ms lands
+		// in the same sub-bucket two octaves up.
+		{0, 0.001},
+		{50, 0.00799560546875}, // rank 3.5 → floor 3 → bucket of 8ms
+		{100, 0.128},
+		{75, 0.031982421875}, // rank 5.25 → bucket of 32ms
+	} {
+		got := d.Percentile(tc.p)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("p%v = %.9f, want %.9f", tc.p, got, tc.want)
+		}
+	}
+	if got := d.FractionBelow(0.009); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("FractionBelow(9ms) = %v, want 0.5", got)
+	}
+	cdf := d.CDF(4)
+	if len(cdf) != 4 {
+		t.Fatalf("CDF len %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Errorf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+	if cdf[3].Fraction != 1 {
+		t.Errorf("final CDF fraction %v", cdf[3].Fraction)
+	}
+}
+
+func TestSketchDefaultCapEngages(t *testing.T) {
+	d := &Distribution{}
+	for i := 0; i < DefaultSampleCap-1; i++ {
+		d.Add(float64(i + 1))
+	}
+	if d.Sketched() {
+		t.Fatal("engaged below the default cap")
+	}
+	d.Add(1)
+	if !d.Sketched() {
+		t.Fatal("did not engage at the default cap")
+	}
+	d.Add(5)
+	if d.Count() != DefaultSampleCap+1 {
+		t.Errorf("Count = %d", d.Count())
+	}
+}
+
+func TestSketchNonPositiveSamples(t *testing.T) {
+	d := &Distribution{}
+	d.SetSampleCap(2)
+	for _, x := range []float64{0, 0, 1, 2, 3, 4} {
+		d.Add(x)
+	}
+	if got := d.Percentile(0); got != 0 {
+		t.Errorf("p0 = %v", got)
+	}
+	// Ranks inside the non-positive block report the exact minimum.
+	if got := d.Percentile(10); got != 0 {
+		t.Errorf("p10 = %v, want 0 (non-positive block)", got)
+	}
+	if got := d.Percentile(100); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := d.FractionBelow(-1); got != 0 {
+		t.Errorf("FractionBelow(-1) = %v", got)
+	}
+}
+
+// TestSketchDeterministicAcrossInsertOrder: same multiset, different
+// order → identical quantiles (reservoir sampling could not promise
+// this; the histogram must).
+func TestSketchDeterministicAcrossInsertOrder(t *testing.T) {
+	a, b := &Distribution{}, &Distribution{}
+	a.SetSampleCap(10)
+	b.SetSampleCap(10)
+	n := 5000
+	for i := 0; i < n; i++ {
+		x := 1e-4 * float64(i+1)
+		a.Add(x)
+		b.Add(1e-4 * float64(n-i))
+	}
+	for _, p := range []float64{5, 50, 95, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Errorf("p%v order-dependent: %v vs %v", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+}

@@ -254,10 +254,33 @@ func (g *ShardGroup) RunUntil(t Time) {
 			hi = t + 1
 		}
 
+		// A registered sync point is a hard fence for the solo fast
+		// path: a sync callback may arm events on any shard (the hybrid
+		// fleet's driver materializes connections and releases their
+		// trains from one), and runSolo's stop limit is computed from
+		// foreign pending events before dispatch — it cannot see
+		// arrivals a mid-run sync creates, so the active shard's clock
+		// could run past them and a later cross-shard post would land in
+		// its past. Solo therefore stops strictly before the earliest
+		// sync instant, and a window that reaches it takes the full
+		// barrier path, where dispatchSync quiesces and equalizes every
+		// shard at the sync instant before the callback runs. Stale
+		// registrations (cancelled timers) cost at most one windowed
+		// pass each; nextSync/dispatchSync discard them there.
+		syncAt := End
+		for _, sp := range g.syncs {
+			if sp.at < syncAt {
+				syncAt = sp.at
+			}
+		}
+
 		// Solo fast path: a single active shard below the window end
 		// runs in exact shared mode as far as conservatism allows.
 		active, second := -1, End
-		solo := true
+		solo := syncAt >= hi
+		if syncAt < second {
+			second = syncAt
+		}
 		for i, s := range g.shards {
 			pt := s.PeekTime()
 			if pt >= hi {

@@ -1,0 +1,94 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+)
+
+// connHot is the per-connection hot state: the sequence pointers, the
+// congestion window, and the RTT estimator — the fields every ACK and
+// every send touch. It is exactly one 64-byte cache line, so an arena
+// slab packs the hot lines of co-sharded connections contiguously while
+// the cold remainder of Conn stays behind the pointer.
+type connHot struct {
+	sndUna  int64
+	sndNxt  int64
+	maxSent int64
+	bufEnd  int64
+
+	cwnd     float64
+	ssthresh float64
+
+	srtt   time.Duration
+	rttvar time.Duration
+}
+
+// arenaSlabSize is the number of hot records per slab. Slabs are never
+// reallocated, so &slab[i] stays stable for the arena's lifetime.
+const arenaSlabSize = 1024
+
+// Arena is a slab allocator for connection hot state, one per shard.
+// Freed slots are recycled LIFO, keeping the working set of a
+// materialize/detach churn (the hybrid-fidelity fleet's steady state)
+// inside a few hot cache lines regardless of how many connections have
+// ever existed. Not safe for concurrent use: an arena belongs to one
+// shard and is only touched from that shard's event context or from a
+// sync (quiesced) section.
+type Arena struct {
+	slabs [][]connHot
+	free  []int32
+	next  int32
+	inUse []bool
+}
+
+// NewArena returns an empty hot-state arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Live returns the number of slots currently allocated.
+func (a *Arena) Live() int { return int(a.next) - len(a.free) }
+
+// Cap returns the total slots ever created (live + recyclable).
+func (a *Arena) Cap() int { return int(a.next) }
+
+// alloc hands out a zeroed hot record and its slot index, recycling the
+// most recently freed slot first.
+func (a *Arena) alloc() (*connHot, int32) {
+	var slot int32
+	if n := len(a.free); n > 0 {
+		slot = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		slot = a.next
+		a.next++
+		if int(slot)/arenaSlabSize >= len(a.slabs) {
+			a.slabs = append(a.slabs, make([]connHot, arenaSlabSize))
+		}
+		a.inUse = append(a.inUse, false)
+	}
+	if a.inUse[slot] {
+		panic(fmt.Sprintf("tcp: arena slot %d allocated twice", slot))
+	}
+	a.inUse[slot] = true
+	h := a.at(slot)
+	*h = connHot{}
+	return h, slot
+}
+
+// release returns a slot to the arena. Releasing a slot twice, or one the
+// arena never issued, panics: aliasing a recycled hot record with a live
+// connection would corrupt both silently.
+func (a *Arena) release(slot int32) {
+	if slot < 0 || slot >= a.next {
+		panic(fmt.Sprintf("tcp: arena release of unissued slot %d (cap %d)", slot, a.next))
+	}
+	if !a.inUse[slot] {
+		panic(fmt.Sprintf("tcp: arena slot %d released twice", slot))
+	}
+	a.inUse[slot] = false
+	a.free = append(a.free, slot)
+}
+
+// at returns the record backing slot.
+func (a *Arena) at(slot int32) *connHot {
+	return &a.slabs[int(slot)/arenaSlabSize][int(slot)%arenaSlabSize]
+}

@@ -1,0 +1,103 @@
+package tcp
+
+// Arena allocator properties: no two live slots alias, slots recycle
+// LIFO, and misuse (double release, unissued slot) panics rather than
+// corrupting a neighbour.
+
+import (
+	"testing"
+
+	"tcptrim/internal/sim"
+)
+
+func TestArenaNoAliasingUnderChurn(t *testing.T) {
+	a := NewArena()
+	rng := sim.NewRand(42)
+	live := map[int32]*connHot{}
+	var order []int32 // allocation order, for deterministic victim picks
+	for step := 0; step < 20000; step++ {
+		if len(order) == 0 || rng.Int63()%3 != 0 {
+			h, slot := a.alloc()
+			if h.sndUna != 0 || h.cwnd != 0 {
+				t.Fatalf("recycled slot %d not zeroed: %+v", slot, *h)
+			}
+			for s, other := range live {
+				if other == h {
+					t.Fatalf("slot %d aliases live slot %d", slot, s)
+				}
+			}
+			h.sndUna = int64(slot) + 1 // brand it
+			live[slot] = h
+			order = append(order, slot)
+		} else {
+			i := int(rng.Int63()) % len(order)
+			slot := order[i]
+			order = append(order[:i], order[i+1:]...)
+			if got := live[slot].sndUna; got != int64(slot)+1 {
+				t.Fatalf("slot %d brand overwritten: %d", slot, got)
+			}
+			a.release(slot)
+			delete(live, slot)
+		}
+	}
+	if a.Live() != len(live) {
+		t.Errorf("Live = %d, want %d", a.Live(), len(live))
+	}
+	// Every survivor still carries its brand — no release corrupted a
+	// live neighbour.
+	for slot, h := range live {
+		if h.sndUna != int64(slot)+1 {
+			t.Errorf("slot %d brand = %d", slot, h.sndUna)
+		}
+	}
+}
+
+func TestArenaSlabPointerStability(t *testing.T) {
+	a := NewArena()
+	var first *connHot
+	// Force several slab growths; the first record must not move.
+	for i := 0; i < 3*arenaSlabSize; i++ {
+		h, slot := a.alloc()
+		if i == 0 {
+			first = h
+			h.bufEnd = 7777
+		}
+		_ = slot
+	}
+	if a.at(0) != first || first.bufEnd != 7777 {
+		t.Fatal("slab growth moved or clobbered slot 0")
+	}
+}
+
+func TestArenaReleaseExactlyOnce(t *testing.T) {
+	a := NewArena()
+	_, slot := a.alloc()
+	a.release(slot)
+	mustPanic(t, "double release", func() { a.release(slot) })
+	mustPanic(t, "unissued slot", func() { a.release(99) })
+	mustPanic(t, "negative slot", func() { a.release(-1) })
+}
+
+func TestArenaLIFORecycle(t *testing.T) {
+	a := NewArena()
+	_, s0 := a.alloc()
+	_, s1 := a.alloc()
+	a.release(s0)
+	a.release(s1)
+	if _, got := a.alloc(); got != s1 {
+		t.Errorf("recycled %d, want most recently freed %d", got, s1)
+	}
+	if a.Cap() != 2 {
+		t.Errorf("Cap = %d, want 2", a.Cap())
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

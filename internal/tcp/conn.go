@@ -70,8 +70,28 @@ type Config struct {
 	LinkRate netsim.Bitrate
 	// Recovery selects the loss-recovery policy; nil means Classic
 	// (dup-ACK threshold + NewReno/SACK recovery, the historical inline
-	// behavior). A policy instance binds to exactly one connection.
+	// behavior). A policy instance binds to exactly one connection at a
+	// time; Detach releases it for reuse on a successor connection.
 	Recovery RecoveryPolicy
+	// ArmRTOOnLoneTail arms the retransmission backstop for every data
+	// segment handed to the network. The seed-verbatim default judges
+	// idleness from sndUna == sndNxt *before* trySend advances sndNxt, so
+	// a lone segment sent from an idle window arms no RTO at all and a
+	// loss of it stalls the connection forever (the wart pinned in
+	// recovery_fuzz_test.go). Off by default so the pinned figures stay
+	// byte-identical; hybrid-fidelity fleets and the recovery sweep turn
+	// it on. The deviation is catalogued in DESIGN.md §7.
+	ArmRTOOnLoneTail bool
+	// Arena, when non-nil, places the connection's hot state (sequence
+	// pointers, window, RTT estimator) in the given shard-local arena
+	// instead of a standalone allocation, keeping co-sharded connections'
+	// hot lines contiguous. Detach returns the slot to the arena.
+	Arena *Arena
+	// Restore, when non-nil, seeds the connection from state captured by
+	// Detach on a predecessor, continuing the same logical flow: sequence
+	// space, congestion window, RTT estimator, Karn back-off, packet-ID
+	// counters, and lifetime stats all carry over.
+	Restore *SavedState
 	// Observer, when non-nil, receives connection lifecycle events
 	// (sends, ACKs, recoveries, timeouts) for tracing.
 	Observer Observer
@@ -147,14 +167,14 @@ type Conn struct {
 	recovery RecoveryPolicy
 	mss      int
 
-	// Sender state.
-	sndUna   int64
-	sndNxt   int64
-	maxSent  int64
-	bufEnd   int64
-	cwnd     float64
-	ssthresh float64
-	minCwnd  float64
+	// hot is the connection's hot state — sequence pointers, congestion
+	// window, and the RTT estimator — split out of the struct so arenas
+	// can pack co-sharded connections' hot lines contiguously (cold state
+	// stays behind this index). Standalone when cfg.Arena is nil.
+	hot     *connHot
+	arena   *Arena
+	slot    int32
+	minCwnd float64
 
 	dupAcks    int
 	inRecovery bool
@@ -174,9 +194,7 @@ type Conn struct {
 	sacked  []interval
 	rtxHint int64
 
-	// RTO state (RFC 6298).
-	srtt     time.Duration
-	rttvar   time.Duration
+	// RTO state (RFC 6298; the smoothed estimator lives in hot).
 	rtoTimer sim.Timer
 	backoff  int
 	// lastRTOAt is when the most recent RTO fired (zero if none). Karn's
@@ -257,21 +275,45 @@ func NewConn(cfg Config) (*Conn, error) {
 		cc:       cfg.CC,
 		recovery: cfg.Recovery,
 		mss:      cfg.MSS,
-		cwnd:     cfg.InitialCwnd,
-		ssthresh: defaultSsthresh,
+		slot:     -1,
 		minCwnd:  cfg.MinCwnd,
+	}
+	if cfg.Arena != nil {
+		c.arena = cfg.Arena
+		c.hot, c.slot = cfg.Arena.alloc()
+	} else {
+		c.hot = &connHot{}
+	}
+	c.hot.cwnd = cfg.InitialCwnd
+	c.hot.ssthresh = defaultSsthresh
+	if cfg.Restore != nil {
+		c.restore(cfg.Restore)
 	}
 	c.rtoFn = c.onRTO
 	c.ackFlushFn = c.flushPendingAck
 	if err := cfg.Sender.registerSender(cfg.Flow, c); err != nil {
+		c.releaseHot()
 		return nil, err
 	}
 	if err := cfg.Receiver.registerReceiver(cfg.Flow, c); err != nil {
+		cfg.Sender.unregisterSender(cfg.Flow)
+		c.releaseHot()
 		return nil, err
 	}
 	c.recovery.attach(c)
 	c.cc.Attach(c)
 	return c, nil
+}
+
+// releaseHot returns the hot-state slot to the arena, if any, and poisons
+// the pointer so any further use of the connection faults loudly.
+func (c *Conn) releaseHot() {
+	if c.arena != nil {
+		c.arena.release(c.slot)
+		c.arena = nil
+		c.slot = -1
+	}
+	c.hot = nil
 }
 
 // Scheduler returns the scheduler driving the sender side of this
@@ -304,9 +346,9 @@ func (c *Conn) SendTrain(size int, done func(TrainResult)) {
 		}
 		return
 	}
-	c.bufEnd += int64(size)
+	c.hot.bufEnd += int64(size)
 	c.trains = append(c.trains, train{
-		end:      c.bufEnd,
+		end:      c.hot.bufEnd,
 		released: c.sched.Now(),
 		bytes:    size,
 		done:     done,
@@ -315,7 +357,7 @@ func (c *Conn) SendTrain(size int, done func(TrainResult)) {
 }
 
 // Pending returns the number of bytes appended but not yet acknowledged.
-func (c *Conn) Pending() int64 { return c.bufEnd - c.sndUna }
+func (c *Conn) Pending() int64 { return c.hot.bufEnd - c.hot.sndUna }
 
 // --- Control implementation -------------------------------------------
 
@@ -328,7 +370,7 @@ func (c *Conn) After(d time.Duration, fn func()) sim.Timer {
 }
 
 // Cwnd implements Control.
-func (c *Conn) Cwnd() float64 { return c.cwnd }
+func (c *Conn) Cwnd() float64 { return c.hot.cwnd }
 
 // SetCwnd implements Control.
 func (c *Conn) SetCwnd(w float64) {
@@ -338,18 +380,18 @@ func (c *Conn) SetCwnd(w float64) {
 	if w > maxSegmentsLimit {
 		w = maxSegmentsLimit
 	}
-	c.cwnd = w
+	c.hot.cwnd = w
 }
 
 // Ssthresh implements Control.
-func (c *Conn) Ssthresh() float64 { return c.ssthresh }
+func (c *Conn) Ssthresh() float64 { return c.hot.ssthresh }
 
 // SetSsthresh implements Control.
 func (c *Conn) SetSsthresh(w float64) {
 	if w < c.minCwnd {
 		w = c.minCwnd
 	}
-	c.ssthresh = w
+	c.hot.ssthresh = w
 }
 
 // MinCwnd implements Control.
@@ -358,7 +400,7 @@ func (c *Conn) MinCwnd() float64 { return c.minCwnd }
 // FlightSegs implements Control. With SACK enabled, selectively
 // acknowledged bytes do not count as in flight (the RFC 6675 "pipe").
 func (c *Conn) FlightSegs() int {
-	bytes := c.sndNxt - c.sndUna
+	bytes := c.hot.sndNxt - c.hot.sndUna
 	if c.cfg.SACK {
 		bytes -= c.sackedBytes()
 	}
@@ -378,7 +420,7 @@ func (c *Conn) sackedBytes() int64 {
 }
 
 // SRTT implements Control.
-func (c *Conn) SRTT() time.Duration { return c.srtt }
+func (c *Conn) SRTT() time.Duration { return c.hot.srtt }
 
 // Suspend implements Control.
 func (c *Conn) Suspend() { c.suspended = true }
@@ -426,7 +468,7 @@ func (c *Conn) trySend() {
 	c.sending = true
 	defer func() { c.sending = false }()
 
-	for !c.suspended && c.sndNxt < c.bufEnd {
+	for !c.suspended && c.hot.sndNxt < c.hot.bufEnd {
 		if !c.windowOpen() {
 			break
 		}
@@ -434,15 +476,15 @@ func (c *Conn) trySend() {
 		// sweep skips ranges the receiver already holds.
 		if c.cfg.SACK {
 			for _, iv := range c.sacked {
-				if iv.start <= c.sndNxt && c.sndNxt < iv.end {
-					c.sndNxt = iv.end
+				if iv.start <= c.hot.sndNxt && c.hot.sndNxt < iv.end {
+					c.hot.sndNxt = iv.end
 				}
 			}
-			if c.sndNxt >= c.bufEnd {
+			if c.hot.sndNxt >= c.hot.bufEnd {
 				break
 			}
 		}
-		isRtx := c.sndNxt < c.maxSent
+		isRtx := c.hot.sndNxt < c.hot.maxSent
 		if !isRtx {
 			// Algorithm 1 consults the policy "before sending a new
 			// packet (not a retransmission packet)".
@@ -455,13 +497,13 @@ func (c *Conn) trySend() {
 			}
 		}
 		seg := int64(c.mss)
-		if rem := c.bufEnd - c.sndNxt; rem < seg {
+		if rem := c.hot.bufEnd - c.hot.sndNxt; rem < seg {
 			seg = rem
 		}
 		if c.cfg.SACK {
 			for _, iv := range c.sacked {
-				if iv.start > c.sndNxt && iv.start < c.sndNxt+seg {
-					seg = iv.start - c.sndNxt
+				if iv.start > c.hot.sndNxt && iv.start < c.hot.sndNxt+seg {
+					seg = iv.start - c.hot.sndNxt
 					break
 				}
 			}
@@ -473,10 +515,10 @@ func (c *Conn) trySend() {
 			// go-back-N sweep is the timeout-driven retransmission path.
 			kind = sendRtxTimeout
 		}
-		c.sendSegment(c.sndNxt, c.sndNxt+seg, kind)
-		c.sndNxt += seg
-		if c.sndNxt > c.maxSent {
-			c.maxSent = c.sndNxt
+		c.sendSegment(c.hot.sndNxt, c.hot.sndNxt+seg, kind)
+		c.hot.sndNxt += seg
+		if c.hot.sndNxt > c.hot.maxSent {
+			c.hot.maxSent = c.hot.sndNxt
 		}
 		if usedBonus && c.bonus > 0 {
 			c.bonus--
@@ -487,7 +529,7 @@ func (c *Conn) trySend() {
 // fitsWindow reports whether one more segment fits in the congestion
 // window proper (ignoring bonus grants).
 func (c *Conn) fitsWindow() bool {
-	return float64(c.FlightSegs()+1) <= c.cwnd+windowSlack
+	return float64(c.FlightSegs()+1) <= c.hot.cwnd+windowSlack
 }
 
 // windowOpen reports whether a segment may be sent, counting bonus
@@ -519,13 +561,13 @@ func (c *Conn) sendSegment(seq, end int64, kind sendKind) {
 		// bytes, which the receiver discards and counts as spurious), and
 		// a sweep segment may mix old bytes with data appended after the
 		// rewind, extending past maxSent.
-		if seq >= c.maxSent || end <= seq {
+		if seq >= c.hot.maxSent || end <= seq {
 			panic(fmt.Sprintf("tcp: invalid retransmission [%d,%d) with sndUna=%d maxSent=%d",
-				seq, end, c.sndUna, c.maxSent))
+				seq, end, c.hot.sndUna, c.hot.maxSent))
 		}
-		if kind != sendRtxTimeout && (seq < c.sndUna || end > c.maxSent) {
+		if kind != sendRtxTimeout && (seq < c.hot.sndUna || end > c.hot.maxSent) {
 			panic(fmt.Sprintf("tcp: repair retransmission [%d,%d) outside [sndUna=%d, maxSent=%d]",
-				seq, end, c.sndUna, c.maxSent))
+				seq, end, c.hot.sndUna, c.hot.maxSent))
 		}
 	}
 	now := c.sched.Now()
@@ -575,11 +617,21 @@ func (c *Conn) sendSegment(seq, end int64, kind sendKind) {
 	// dup-ACK-driven sends can starve the RTO forever). Note armRTO's
 	// idle test reads sndUna == sndNxt, and trySend advances sndNxt only
 	// after sendSegment returns — so a lone segment sent from an idle
-	// window arms no timer and stalls the connection if it is lost. That
-	// quirk is kept verbatim for byte-identity with the seed figures;
-	// RACK-TLP's tail-loss probe repairs exactly this case.
+	// window arms no timer and stalls the connection if it is lost. With
+	// ArmRTOOnLoneTail the timer is armed unconditionally here (a segment
+	// was just handed to the network, so data is outstanding by
+	// construction); the default keeps the quirk verbatim for
+	// byte-identity with the seed figures — RACK-TLP's tail-loss probe
+	// repairs exactly this case.
 	if !c.rtoTimer.Pending() {
-		c.armRTO()
+		if c.cfg.ArmRTOOnLoneTail {
+			d := c.rto()
+			if !c.rtoTimer.Reset(d) {
+				c.rtoTimer = c.sched.After(d, c.rtoFn)
+			}
+		} else {
+			c.armRTO()
+		}
 	}
 	c.recovery.onSent(seq, end, retransmit)
 }
@@ -607,7 +659,7 @@ func (c *Conn) observe(kind EventKind, seq, ack int64) {
 		Kind:   kind,
 		Seq:    seq,
 		Ack:    ack,
-		Cwnd:   c.cwnd,
+		Cwnd:   c.hot.cwnd,
 		Flight: c.FlightSegs(),
 	})
 }
@@ -628,7 +680,7 @@ func (c *Conn) handleAck(pkt *netsim.Packet) {
 		c.stats.ECESeen++
 	}
 
-	if pkt.Ack > c.sndUna {
+	if pkt.Ack > c.hot.sndUna {
 		c.onAdvancingAck(pkt, rtt)
 		return
 	}
@@ -639,13 +691,13 @@ func (c *Conn) onAdvancingAck(pkt *netsim.Packet, rtt time.Duration) {
 	if c.cfg.SACK {
 		c.mergeSack(pkt.Sack)
 	}
-	ackedBytes := pkt.Ack - c.sndUna
+	ackedBytes := pkt.Ack - c.hot.sndUna
 	ackedSegs := int((ackedBytes + int64(c.mss) - 1) / int64(c.mss))
-	c.sndUna = pkt.Ack
+	c.hot.sndUna = pkt.Ack
 	if c.cfg.SACK {
-		c.trimSackBelow(c.sndUna)
-		if c.rtxHint < c.sndUna {
-			c.rtxHint = c.sndUna
+		c.trimSackBelow(c.hot.sndUna)
+		if c.rtxHint < c.hot.sndUna {
+			c.rtxHint = c.hot.sndUna
 		}
 	}
 	c.stats.AckedBytes += ackedBytes
@@ -679,7 +731,7 @@ func (c *Conn) onAdvancingAck(pkt *netsim.Packet, rtt time.Duration) {
 }
 
 func (c *Conn) onDuplicateAck(pkt *netsim.Packet) {
-	if pkt.Ack != c.sndUna || c.sndNxt == c.sndUna {
+	if pkt.Ack != c.hot.sndUna || c.hot.sndNxt == c.hot.sndUna {
 		return // stale ACK or nothing in flight
 	}
 	if c.cfg.SACK {
@@ -705,33 +757,33 @@ func (c *Conn) onDuplicateAck(pkt *netsim.Packet) {
 
 func (c *Conn) enterFastRecovery() {
 	c.inRecovery = true
-	c.recover = c.sndNxt
+	c.recover = c.hot.sndNxt
 	// The retransmission high-water mark survives back-to-back
 	// recoveries: holes already repaired (whose rtx may still be in
 	// flight) are not re-sent at each recovery entry.
-	if c.rtxHint < c.sndUna {
-		c.rtxHint = c.sndUna
+	if c.rtxHint < c.hot.sndUna {
+		c.rtxHint = c.hot.sndUna
 	}
 	c.stats.FastRecoveries++
 	c.SetSsthresh(c.cc.SsthreshAfterLoss())
-	c.SetCwnd(c.ssthresh + dupAckThreshold)
-	c.observe(EventEnterRecovery, c.sndUna, 0)
+	c.SetCwnd(c.hot.ssthresh + dupAckThreshold)
+	c.observe(EventEnterRecovery, c.hot.sndUna, 0)
 	c.retransmitFirstUnacked()
 }
 
 func (c *Conn) retransmitFirstUnacked() {
-	end := c.sndUna + int64(c.mss)
+	end := c.hot.sndUna + int64(c.mss)
 	if c.cfg.SACK && len(c.sacked) > 0 && c.sacked[0].start < end {
 		// Do not re-send bytes the receiver already holds.
 		end = c.sacked[0].start
 	}
-	if end > c.maxSent {
-		end = c.maxSent
+	if end > c.hot.maxSent {
+		end = c.hot.maxSent
 	}
-	if end <= c.sndUna {
+	if end <= c.hot.sndUna {
 		return
 	}
-	c.sendSegment(c.sndUna, end, sendRtxFast)
+	c.sendSegment(c.hot.sndUna, end, sendRtxFast)
 	if c.rtxHint < end {
 		c.rtxHint = end
 	}
@@ -759,7 +811,7 @@ func (c *Conn) retransmitNextHole() bool {
 // flight is not a hole). The segment is clipped to one MSS and to the
 // following SACK block. Returns an empty range when no hole qualifies.
 func (c *Conn) nextHole() (seq, end int64) {
-	seq = c.sndUna
+	seq = c.hot.sndUna
 	if c.rtxHint > seq {
 		seq = c.rtxHint
 	}
@@ -769,7 +821,7 @@ func (c *Conn) nextHole() (seq, end int64) {
 			seq = iv.end
 		}
 	}
-	if seq >= c.sndNxt {
+	if seq >= c.hot.sndNxt {
 		return seq, seq
 	}
 	end = seq + int64(c.mss)
@@ -779,8 +831,8 @@ func (c *Conn) nextHole() (seq, end int64) {
 			break
 		}
 	}
-	if end > c.maxSent {
-		end = c.maxSent
+	if end > c.hot.maxSent {
+		end = c.hot.maxSent
 	}
 	if c.sackedBytesAbove(end) < int64(dupAckThreshold*c.mss) {
 		return seq, seq
@@ -807,12 +859,12 @@ func (c *Conn) sackedBytesAbove(pos int64) int64 {
 // mergeSack folds the ACK's SACK blocks into the scoreboard.
 func (c *Conn) mergeSack(blocks []netsim.SackBlock) {
 	for _, b := range blocks {
-		if b.End <= b.Start || b.End <= c.sndUna {
+		if b.End <= b.Start || b.End <= c.hot.sndUna {
 			continue
 		}
 		start := b.Start
-		if start < c.sndUna {
-			start = c.sndUna
+		if start < c.hot.sndUna {
+			start = c.hot.sndUna
 		}
 		c.insertSacked(interval{start, b.End})
 	}
@@ -860,7 +912,7 @@ func (c *Conn) trimSackBelow(una int64) {
 
 func (c *Conn) completeTrains() {
 	now := c.sched.Now()
-	for len(c.trains) > 0 && c.trains[0].end <= c.sndUna {
+	for len(c.trains) > 0 && c.trains[0].end <= c.hot.sndUna {
 		tr := c.trains[0]
 		c.trains = c.trains[1:]
 		if tr.done != nil {
@@ -872,23 +924,23 @@ func (c *Conn) completeTrains() {
 // --- RTO ---------------------------------------------------------------
 
 func (c *Conn) updateRTOEstimator(rtt time.Duration) {
-	if c.srtt == 0 {
-		c.srtt = rtt
-		c.rttvar = rtt / 2
+	if c.hot.srtt == 0 {
+		c.hot.srtt = rtt
+		c.hot.rttvar = rtt / 2
 		return
 	}
 	// RFC 6298 with the standard gains.
-	diff := c.srtt - rtt
+	diff := c.hot.srtt - rtt
 	if diff < 0 {
 		diff = -diff
 	}
-	c.rttvar = (3*c.rttvar + diff) / 4
-	c.srtt = (7*c.srtt + rtt) / 8
+	c.hot.rttvar = (3*c.hot.rttvar + diff) / 4
+	c.hot.srtt = (7*c.hot.srtt + rtt) / 8
 }
 
 // rto returns the current retransmission timeout including back-off.
 func (c *Conn) rto() time.Duration {
-	base := c.srtt + 4*c.rttvar
+	base := c.hot.srtt + 4*c.hot.rttvar
 	if base < c.cfg.MinRTO {
 		base = c.cfg.MinRTO
 	}
@@ -908,7 +960,7 @@ func (c *Conn) rto() time.Duration {
 // out by an ACK — re-slots the event in place via Reset instead of
 // cancelling and rescheduling, which this path does once per ACK.
 func (c *Conn) armRTO() {
-	if c.sndUna == c.sndNxt {
+	if c.hot.sndUna == c.hot.sndNxt {
 		c.rtoTimer.Stop()
 		c.rtoTimer = sim.Timer{}
 		return
@@ -921,12 +973,12 @@ func (c *Conn) armRTO() {
 
 func (c *Conn) onRTO() {
 	c.rtoTimer = sim.Timer{}
-	if c.sndUna == c.sndNxt {
+	if c.hot.sndUna == c.hot.sndNxt {
 		return
 	}
 	c.lastRTOAt = c.sched.Now()
 	c.stats.Timeouts++
-	c.observe(EventTimeout, c.sndUna, 0)
+	c.observe(EventTimeout, c.hot.sndUna, 0)
 	c.SetSsthresh(c.cc.SsthreshAfterLoss())
 	c.SetCwnd(c.minCwnd)
 	c.inRecovery = false
@@ -944,8 +996,8 @@ func (c *Conn) onRTO() {
 	if !c.cfg.SACK {
 		c.sacked = c.sacked[:0]
 	}
-	c.rtxHint = c.sndUna
-	c.sndNxt = c.sndUna
+	c.rtxHint = c.hot.sndUna
+	c.hot.sndNxt = c.hot.sndUna
 	c.recovery.onTimeout()
 	c.cc.OnTimeout()
 	c.trySend()

@@ -36,6 +36,14 @@ func newTestNet(t *testing.T, link netsim.LinkConfig) *testNet {
 	}
 }
 
+// withHot equips a bare white-box Conn literal (no NewConn) with
+// standalone hot state.
+func (c *Conn) withHot() *Conn {
+	c.hot = &connHot{}
+	c.slot = -1
+	return c
+}
+
 func gigLink(queueCap int) netsim.LinkConfig {
 	return netsim.LinkConfig{
 		Rate:  netsim.Gbps,
@@ -346,7 +354,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestOutOfOrderReassembly(t *testing.T) {
-	c := &Conn{mss: DefaultMSS}
+	c := (&Conn{mss: DefaultMSS}).withHot()
 	// Arrivals: [1460,2920), [4380,5840), [2920,4380) then in-order head.
 	c.insertOutOfOrder(interval{1460, 2920})
 	c.insertOutOfOrder(interval{4380, 5840})
@@ -365,7 +373,7 @@ func TestOutOfOrderReassembly(t *testing.T) {
 }
 
 func TestOutOfOrderOverlapMerge(t *testing.T) {
-	c := &Conn{mss: DefaultMSS}
+	c := (&Conn{mss: DefaultMSS}).withHot()
 	c.insertOutOfOrder(interval{100, 200})
 	c.insertOutOfOrder(interval{150, 300})
 	c.insertOutOfOrder(interval{50, 120})

@@ -15,13 +15,13 @@ import (
 )
 
 func TestRTOEstimatorFirstSample(t *testing.T) {
-	c := &Conn{cfg: Config{MinRTO: time.Millisecond, MaxRTO: time.Second}}
+	c := (&Conn{cfg: Config{MinRTO: time.Millisecond, MaxRTO: time.Second}}).withHot()
 	c.updateRTOEstimator(400 * time.Microsecond)
-	if c.srtt != 400*time.Microsecond {
-		t.Errorf("srtt = %v", c.srtt)
+	if c.hot.srtt != 400*time.Microsecond {
+		t.Errorf("srtt = %v", c.hot.srtt)
 	}
-	if c.rttvar != 200*time.Microsecond {
-		t.Errorf("rttvar = %v", c.rttvar)
+	if c.hot.rttvar != 200*time.Microsecond {
+		t.Errorf("rttvar = %v", c.hot.rttvar)
 	}
 	// rto = srtt + 4×rttvar = 1.2ms, above the 1ms floor.
 	if got := c.rto(); got != 1200*time.Microsecond {
@@ -30,21 +30,21 @@ func TestRTOEstimatorFirstSample(t *testing.T) {
 }
 
 func TestRTOEstimatorConvergesOnSteadyRTT(t *testing.T) {
-	c := &Conn{cfg: Config{MinRTO: time.Microsecond, MaxRTO: time.Second}}
+	c := (&Conn{cfg: Config{MinRTO: time.Microsecond, MaxRTO: time.Second}}).withHot()
 	for i := 0; i < 100; i++ {
 		c.updateRTOEstimator(300 * time.Microsecond)
 	}
-	if c.srtt < 295*time.Microsecond || c.srtt > 305*time.Microsecond {
-		t.Errorf("srtt = %v, want ≈300µs", c.srtt)
+	if c.hot.srtt < 295*time.Microsecond || c.hot.srtt > 305*time.Microsecond {
+		t.Errorf("srtt = %v, want ≈300µs", c.hot.srtt)
 	}
 	// Variance decays toward zero on a constant signal.
-	if c.rttvar > 20*time.Microsecond {
-		t.Errorf("rttvar = %v, want near 0", c.rttvar)
+	if c.hot.rttvar > 20*time.Microsecond {
+		t.Errorf("rttvar = %v, want near 0", c.hot.rttvar)
 	}
 }
 
 func TestRTOBackoffDoublesAndCaps(t *testing.T) {
-	c := &Conn{cfg: Config{MinRTO: 10 * time.Millisecond, MaxRTO: 100 * time.Millisecond}}
+	c := (&Conn{cfg: Config{MinRTO: 10 * time.Millisecond, MaxRTO: 100 * time.Millisecond}}).withHot()
 	base := c.rto()
 	if base != 10*time.Millisecond {
 		t.Fatalf("base rto = %v", base)
@@ -68,7 +68,7 @@ func TestRTOBackoffDoublesAndCaps(t *testing.T) {
 }
 
 func TestSetCwndClamps(t *testing.T) {
-	c := &Conn{minCwnd: 2}
+	c := (&Conn{minCwnd: 2}).withHot()
 	c.SetCwnd(0.5)
 	if c.Cwnd() != 2 {
 		t.Errorf("cwnd = %v, want floor 2", c.Cwnd())
@@ -84,27 +84,27 @@ func TestSetCwndClamps(t *testing.T) {
 }
 
 func TestFlightSegsRounding(t *testing.T) {
-	c := &Conn{mss: 1460}
-	c.sndUna, c.sndNxt = 0, 0
+	c := (&Conn{mss: 1460}).withHot()
+	c.hot.sndUna, c.hot.sndNxt = 0, 0
 	if c.FlightSegs() != 0 {
 		t.Error("empty flight")
 	}
-	c.sndNxt = 1
+	c.hot.sndNxt = 1
 	if c.FlightSegs() != 1 {
 		t.Error("1 byte should count as 1 segment")
 	}
-	c.sndNxt = 1460
+	c.hot.sndNxt = 1460
 	if c.FlightSegs() != 1 {
 		t.Error("exactly one MSS = 1 segment")
 	}
-	c.sndNxt = 1461
+	c.hot.sndNxt = 1461
 	if c.FlightSegs() != 2 {
 		t.Error("one MSS + 1 byte = 2 segments")
 	}
 }
 
 func TestAllowBeyondWindowSetsNotAccumulates(t *testing.T) {
-	c := &Conn{minCwnd: 2}
+	c := (&Conn{minCwnd: 2}).withHot()
 	c.AllowBeyondWindow(2)
 	c.AllowBeyondWindow(2)
 	if c.bonus != 2 {
@@ -159,7 +159,7 @@ func TestSuspendResumeGateSending(t *testing.T) {
 func TestReassemblyProperty(t *testing.T) {
 	prop := func(order []uint8, overlap bool) bool {
 		const segs = 12
-		c := &Conn{mss: 1460}
+		c := (&Conn{mss: 1460}).withHot()
 		// Build segment list [i*1460, (i+1)*1460), shuffled by order.
 		idx := make([]int, segs)
 		for i := range idx {

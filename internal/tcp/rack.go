@@ -154,7 +154,7 @@ func (p *RACKTLP) onAckAdvance(pkt *netsim.Packet, ackedSegs int, rtt time.Durat
 	if c.inRecovery && pkt.Ack >= c.recover {
 		c.inRecovery = false
 		c.dupAcks = 0
-		c.SetCwnd(c.ssthresh)
+		c.SetCwnd(c.hot.ssthresh)
 		c.observe(EventExitRecovery, 0, pkt.Ack)
 	} else if !c.inRecovery {
 		c.dupAcks = 0
@@ -162,7 +162,7 @@ func (p *RACKTLP) onAckAdvance(pkt *netsim.Packet, ackedSegs int, rtt time.Durat
 
 	p.tlpOut = false // forward progress opens a new probe budget
 	p.detectLosses(now)
-	p.armPTO(c.sndNxt == c.sndUna)
+	p.armPTO(c.hot.sndNxt == c.hot.sndUna)
 }
 
 func (p *RACKTLP) onDupAck(pkt *netsim.Packet) {
@@ -174,12 +174,28 @@ func (p *RACKTLP) onDupAck(pkt *netsim.Packet) {
 	p.noteSackDelivered(pkt, now.Sub(pkt.Echo))
 	p.noteEchoDelivered(pkt, now)
 	p.detectLosses(now)
-	p.armPTO(c.sndNxt == c.sndUna)
+	p.armPTO(c.hot.sndNxt == c.hot.sndUna)
 }
 
 // onSignal ignores switch recovery signals; combine with the TRACKs
 // policy for switch-assisted recovery.
 func (p *RACKTLP) onSignal(ack int64) {}
+
+// quiescent requires an empty outstanding-segment table and both timers
+// idle; the delivery evidence (xmitTime/rtt) is pure history and may
+// carry across a detach.
+func (p *RACKTLP) quiescent() bool {
+	return len(p.segs) == 0 && !p.tlpOut &&
+		!p.timer.Pending() && !p.ptoTmr.Pending()
+}
+
+func (p *RACKTLP) detach() {
+	p.timer.Stop()
+	p.timer = sim.Timer{}
+	p.ptoTmr.Stop()
+	p.ptoTmr = sim.Timer{}
+	p.c = nil
+}
 
 func (p *RACKTLP) onTimeout() {
 	// The RTO backstop rewound sndNxt: the go-back-N sweep re-records
@@ -238,7 +254,7 @@ func (p *RACKTLP) noteEchoDelivered(pkt *netsim.Packet, now sim.Time) {
 	if t == 0 || t < p.xmitTime {
 		return
 	}
-	end := p.c.maxSent
+	end := p.c.hot.maxSent
 	for i := range p.segs {
 		if p.segs[i].sentAt == t {
 			end = p.segs[i].end
@@ -255,7 +271,7 @@ func (p *RACKTLP) noteEchoDelivered(pkt *netsim.Packet, now sim.Time) {
 // reoWnd is the reordering window: srtt/4, floored at zero (a cold
 // estimator disables marking until the first RTT sample).
 func (p *RACKTLP) reoWnd() time.Duration {
-	return p.c.srtt / rackReoWndFraction
+	return p.c.hot.srtt / rackReoWndFraction
 }
 
 // detectLosses marks and repairs every outstanding segment sent
@@ -273,7 +289,7 @@ func (p *RACKTLP) detectLosses(now sim.Time) {
 	repaired := false
 	for i := range p.segs {
 		s := &p.segs[i]
-		if s.sacked || s.lost || s.end <= c.sndUna {
+		if s.sacked || s.lost || s.end <= c.hot.sndUna {
 			continue
 		}
 		// Sent-after relation with sequence tiebreak: only segments the
@@ -315,18 +331,18 @@ func (p *RACKTLP) repair(s *rackSeg) {
 	c := p.c
 	if !c.inRecovery {
 		c.inRecovery = true
-		c.recover = c.sndNxt
+		c.recover = c.hot.sndNxt
 		c.stats.FastRecoveries++
 		c.SetSsthresh(c.cc.SsthreshAfterLoss())
-		c.SetCwnd(c.ssthresh)
-		c.observe(EventEnterRecovery, c.sndUna, 0)
+		c.SetCwnd(c.hot.ssthresh)
+		c.observe(EventEnterRecovery, c.hot.sndUna, 0)
 	}
 	seq, end := s.start, s.end
-	if seq < c.sndUna {
-		seq = c.sndUna
+	if seq < c.hot.sndUna {
+		seq = c.hot.sndUna
 	}
-	if end > c.maxSent {
-		end = c.maxSent
+	if end > c.hot.maxSent {
+		end = c.hot.maxSent
 	}
 	if end <= seq {
 		s.lost = false
@@ -347,10 +363,10 @@ func (p *RACKTLP) onReorderTimer() {
 // first RTT sample.
 func (p *RACKTLP) pto() time.Duration {
 	c := p.c
-	if c.srtt == 0 {
+	if c.hot.srtt == 0 {
 		return c.cfg.MinRTO / 2
 	}
-	pto := tlpPTOFactor * c.srtt
+	pto := tlpPTOFactor * c.hot.srtt
 	if c.cfg.DelayedAck > 0 {
 		pto += c.cfg.DelayedAck
 	}
@@ -384,13 +400,13 @@ func (p *RACKTLP) armPTO(idle bool) {
 func (p *RACKTLP) onPTO() {
 	p.ptoTmr = sim.Timer{}
 	c := p.c
-	if c.sndUna == c.sndNxt || c.inRecovery || p.tlpOut {
+	if c.hot.sndUna == c.hot.sndNxt || c.inRecovery || p.tlpOut {
 		return
 	}
-	end := c.sndNxt
+	end := c.hot.sndNxt
 	seq := end - int64(c.mss)
-	if seq < c.sndUna {
-		seq = c.sndUna
+	if seq < c.hot.sndUna {
+		seq = c.hot.sndUna
 	}
 	if end <= seq {
 		return

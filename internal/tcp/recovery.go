@@ -54,6 +54,12 @@ type RecoveryPolicy interface {
 	// onTimeout runs when the RTO backstop fired, after the connection's
 	// go-back-N bookkeeping but before cc.OnTimeout and the resend sweep.
 	onTimeout()
+	// quiescent reports whether the policy holds no pending timers or
+	// episode state of its own (Conn.Quiescent folds it in).
+	quiescent() bool
+	// detach unbinds the policy from its connection (Conn.Detach), after
+	// which attach may bind it to a successor. Only called quiescent.
+	detach()
 }
 
 // RecoveryNames lists the selectable policies in NewRecoveryPolicy order.
@@ -102,7 +108,7 @@ func (p *classic) onAckAdvance(pkt *netsim.Packet, ackedSegs int, rtt time.Durat
 			// Full ACK: leave recovery, deflate to ssthresh.
 			c.inRecovery = false
 			c.dupAcks = 0
-			c.SetCwnd(c.ssthresh)
+			c.SetCwnd(c.hot.ssthresh)
 			c.observe(EventExitRecovery, 0, pkt.Ack)
 		} else if c.cfg.SACK {
 			// Partial ACK with SACK: the pipe rule keeps the window
@@ -113,7 +119,7 @@ func (p *classic) onAckAdvance(pkt *netsim.Packet, ackedSegs int, rtt time.Durat
 		} else {
 			// Partial ACK (NewReno): retransmit the next hole, deflate
 			// by the amount acked, re-inflate by one.
-			c.SetCwnd(c.cwnd - float64(ackedSegs) + 1)
+			c.SetCwnd(c.hot.cwnd - float64(ackedSegs) + 1)
 			c.retransmitFirstUnacked()
 		}
 	} else {
@@ -135,7 +141,7 @@ func (p *classic) onDupAck(pkt *netsim.Packet) {
 		c.trySend()
 	case c.inRecovery:
 		// Window inflation keeps the pipe full while the hole repairs.
-		c.SetCwnd(c.cwnd + 1)
+		c.SetCwnd(c.hot.cwnd + 1)
 		c.trySend()
 	}
 }
@@ -146,3 +152,8 @@ func (p *classic) onDupAck(pkt *netsim.Packet) {
 func (p *classic) onSignal(ack int64) {}
 
 func (p *classic) onTimeout() {}
+
+// quiescent: classic keeps all its state in the connection.
+func (p *classic) quiescent() bool { return true }
+
+func (p *classic) detach() { p.c = nil }

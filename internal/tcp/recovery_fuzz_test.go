@@ -20,8 +20,10 @@ import (
 )
 
 // fuzzRecoveryRun executes one randomized fault scenario with the given
-// policy and returns the connection after the run.
-func fuzzRecoveryRun(t *testing.T, rec RecoveryPolicy, withAgent bool,
+// policy and returns the connection after the run. armLoneTail turns on
+// Config.ArmRTOOnLoneTail — with it, the run must always drain: the
+// classic-semantics stall exemption below does not apply.
+func fuzzRecoveryRun(t *testing.T, rec RecoveryPolicy, withAgent, armLoneTail bool,
 	seed int64, loss, reorder, dup uint8, segs int) *Conn {
 	t.Helper()
 	sn := newSwitchFaultNet(t, gigLink(16))
@@ -31,9 +33,10 @@ func fuzzRecoveryRun(t *testing.T, rec RecoveryPolicy, withAgent bool,
 		}
 	}
 	c := newTestConn(t, sn.asTestNet(), Config{
-		MinRTO:   10 * time.Millisecond,
-		SACK:     true,
-		Recovery: rec,
+		MinRTO:           10 * time.Millisecond,
+		SACK:             true,
+		Recovery:         rec,
+		ArmRTOOnLoneTail: armLoneTail,
 	})
 	ge := netsim.GEConfig{
 		PGoodBad: float64(loss%32) / 100,
@@ -72,15 +75,15 @@ func fuzzRecoveryRun(t *testing.T, rec RecoveryPolicy, withAgent bool,
 		if rec != nil {
 			name = rec.Name()
 		}
-		classicSemantics := rec == nil || name == "classic" ||
-			(name == "tracks" && !withAgent)
-		loneTailStall := c.sndUna < c.sndNxt && c.sndNxt == c.maxSent &&
-			c.maxSent == c.bufEnd && c.maxSent-c.sndUna <= int64(c.mss) &&
+		classicSemantics := !armLoneTail && (rec == nil || name == "classic" ||
+			(name == "tracks" && !withAgent))
+		loneTailStall := c.hot.sndUna < c.hot.sndNxt && c.hot.sndNxt == c.hot.maxSent &&
+			c.hot.maxSent == c.hot.bufEnd && c.hot.maxSent-c.hot.sndUna <= int64(c.mss) &&
 			!c.rtoTimer.Pending()
 		if !classicSemantics || !loneTailStall {
 			t.Fatalf("%s: train never completed after faults cleared "+
 				"(sndUna=%d sndNxt=%d maxSent=%d bufEnd=%d rtoPending=%v)",
-				name, c.sndUna, c.sndNxt, c.maxSent, c.bufEnd,
+				name, c.hot.sndUna, c.hot.sndNxt, c.hot.maxSent, c.hot.bufEnd,
 				c.rtoTimer.Pending())
 		}
 	}
@@ -99,8 +102,8 @@ func FuzzClassicRecoveryLockstep(f *testing.F) {
 		segs := int(trainSegs)%300 + 20
 
 		// Lockstep: implicit default vs explicit Classic.
-		implicit := fuzzRecoveryRun(t, nil, false, seed, loss, reorder, dup, segs)
-		explicit := fuzzRecoveryRun(t, NewClassicRecovery(), false, seed, loss, reorder, dup, segs)
+		implicit := fuzzRecoveryRun(t, nil, false, false, seed, loss, reorder, dup, segs)
+		explicit := fuzzRecoveryRun(t, NewClassicRecovery(), false, false, seed, loss, reorder, dup, segs)
 		if implicit.Stats() != explicit.Stats() {
 			t.Errorf("explicit classic diverged from default:\n default: %+v\nexplicit: %+v",
 				implicit.Stats(), explicit.Stats())
@@ -115,11 +118,19 @@ func FuzzClassicRecoveryLockstep(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := fuzzRecoveryRun(t, rec, name == "tracks", seed, loss, reorder, dup, segs)
+		c := fuzzRecoveryRun(t, rec, name == "tracks", false, seed, loss, reorder, dup, segs)
 		st := c.Stats()
 		if sum := st.RTORetransSegs + st.FastRetransSegs + st.TLPProbes; sum != st.RetransSegs {
 			t.Errorf("%s breakdown %d+%d+%d != RetransSegs %d",
 				name, st.RTORetransSegs, st.FastRetransSegs, st.TLPProbes, st.RetransSegs)
 		}
+
+		// With ArmRTOOnLoneTail the stall is unreachable: the same policy
+		// under the same scenario must drain, no exemption granted.
+		rec2, err := NewRecoveryPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzRecoveryRun(t, rec2, name == "tracks", true, seed, loss, reorder, dup, segs)
 	})
 }

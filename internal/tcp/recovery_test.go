@@ -117,8 +117,8 @@ func TestRTOBackoffCapsThroughBlackout(t *testing.T) {
 	if !done {
 		t.Fatal("post-restore train never completed")
 	}
-	if c.srtt <= 0 || c.srtt > 5*time.Millisecond {
-		t.Errorf("srtt after recovery = %v, want re-converged under 5ms", c.srtt)
+	if c.hot.srtt <= 0 || c.hot.srtt > 5*time.Millisecond {
+		t.Errorf("srtt after recovery = %v, want re-converged under 5ms", c.hot.srtt)
 	}
 	if got := c.rto(); got != minRTO {
 		t.Errorf("rto() after recovery = %v, want back at the %v floor", got, minRTO)

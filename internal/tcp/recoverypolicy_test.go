@@ -104,7 +104,7 @@ func TestKarnBackoffIgnoresPreRTOEcho(t *testing.T) {
 		}
 		c.handleAck(&netsim.Packet{
 			IsAck: true,
-			Ack:   c.sndUna + DefaultMSS,
+			Ack:   c.hot.sndUna + DefaultMSS,
 			Echo:  c.lastRTOAt.Add(-time.Microsecond),
 		})
 		if c.backoff != before {
@@ -112,7 +112,7 @@ func TestKarnBackoffIgnoresPreRTOEcho(t *testing.T) {
 		}
 		c.handleAck(&netsim.Packet{
 			IsAck: true,
-			Ack:   c.sndUna + DefaultMSS,
+			Ack:   c.hot.sndUna + DefaultMSS,
 			Echo:  c.lastRTOAt,
 		})
 		if c.backoff != 0 {

@@ -87,7 +87,7 @@ func TestSACKBeatsNewRenoUnderHeavyLoss(t *testing.T) {
 }
 
 func TestSACKScoreboardMergeAndTrim(t *testing.T) {
-	c := &Conn{mss: 1460, cfg: Config{SACK: true}}
+	c := (&Conn{mss: 1460, cfg: Config{SACK: true}}).withHot()
 	c.mergeSack([]netsim.SackBlock{{Start: 2920, End: 4380}})
 	c.mergeSack([]netsim.SackBlock{{Start: 5840, End: 7300}})
 	c.mergeSack([]netsim.SackBlock{{Start: 4380, End: 5840}}) // bridges the two
@@ -108,8 +108,8 @@ func TestSACKScoreboardMergeAndTrim(t *testing.T) {
 }
 
 func TestSACKIgnoresStaleBlocks(t *testing.T) {
-	c := &Conn{mss: 1460, cfg: Config{SACK: true}}
-	c.sndUna = 5000
+	c := (&Conn{mss: 1460, cfg: Config{SACK: true}}).withHot()
+	c.hot.sndUna = 5000
 	c.mergeSack([]netsim.SackBlock{
 		{Start: 1000, End: 2000}, // entirely below una
 		{Start: 4000, End: 6000}, // straddles una
@@ -122,10 +122,10 @@ func TestSACKIgnoresStaleBlocks(t *testing.T) {
 }
 
 func TestSACKNextHoleSelection(t *testing.T) {
-	c := &Conn{mss: 1460, cfg: Config{SACK: true}}
-	c.sndUna = 0
-	c.sndNxt = 10 * 1460
-	c.maxSent = 10 * 1460
+	c := (&Conn{mss: 1460, cfg: Config{SACK: true}}).withHot()
+	c.hot.sndUna = 0
+	c.hot.sndNxt = 10 * 1460
+	c.hot.maxSent = 10 * 1460
 	c.mergeSack([]netsim.SackBlock{
 		{Start: 1460, End: 2920},
 		{Start: 4380, End: 5840},
@@ -155,8 +155,8 @@ func TestSACKNextHoleSelection(t *testing.T) {
 }
 
 func TestSACKFlightExcludesScoreboard(t *testing.T) {
-	c := &Conn{mss: 1460, cfg: Config{SACK: true}}
-	c.sndUna, c.sndNxt = 0, 10*1460
+	c := (&Conn{mss: 1460, cfg: Config{SACK: true}}).withHot()
+	c.hot.sndUna, c.hot.sndNxt = 0, 10*1460
 	if c.FlightSegs() != 10 {
 		t.Fatalf("flight = %d", c.FlightSegs())
 	}

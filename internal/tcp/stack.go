@@ -64,3 +64,8 @@ func (s *Stack) registerReceiver(flow netsim.FlowID, c *Conn) error {
 	s.recv[flow] = c
 	return nil
 }
+
+// unregisterSender and unregisterReceiver forget a flow (Conn.Detach);
+// a packet of the flow arriving afterwards counts as stray.
+func (s *Stack) unregisterSender(flow netsim.FlowID)   { delete(s.send, flow) }
+func (s *Stack) unregisterReceiver(flow netsim.FlowID) { delete(s.recv, flow) }

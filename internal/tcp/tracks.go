@@ -36,7 +36,7 @@ func (p *TRACKs) Name() string { return "tracks" }
 // and the RTO backstop covers a lost repair.
 func (p *TRACKs) onSignal(ack int64) {
 	c := p.c
-	if ack != c.sndUna || c.sndNxt == c.sndUna {
+	if ack != c.hot.sndUna || c.hot.sndNxt == c.hot.sndUna {
 		return
 	}
 	c.observe(EventRecoverySignal, 0, ack)
