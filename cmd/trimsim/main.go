@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -49,21 +50,16 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *aqmSel != "" {
-		// Validate up front so a typo fails before any simulation runs.
-		if _, err := aqm.Parse(*aqmSel); err != nil {
-			return err
-		}
-	}
-	if *recSel != "" {
-		if _, err := tcp.NewRecoveryPolicy(*recSel); err != nil {
-			return err
-		}
-	}
 	if *shards < 1 {
+		// Options.Validate treats 0 like 1; keep the CLI's stricter
+		// historical contract.
 		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
 	}
-	if _, err := hybrid.ParseFidelity(*fidSel); err != nil {
+	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel,
+		Recovery: *recSel, Shards: *shards, Fidelity: *fidSel}
+	// One consolidated gate (shared with the trimsvc REST API) checks
+	// every option up front, so a typo fails before any simulation runs.
+	if err := opts.Validate(); err != nil {
 		return err
 	}
 	if *csvDir != "" {
@@ -71,12 +67,9 @@ func run(args []string) error {
 			return fmt.Errorf("create csv dir: %w", err)
 		}
 	}
-	opts := experiment.Options{Seed: *seed, Reps: *reps, CSVDir: *csvDir, AQM: *aqmSel,
-		Recovery: *recSel, Shards: *shards, Fidelity: *fidSel}
 	switch {
 	case *list:
-		fmt.Println(strings.Join(experiment.IDs(), "\n"))
-		return nil
+		return writeList(os.Stdout)
 	case *all:
 		for _, eid := range experiment.IDs() {
 			fmt.Printf("### %s\n\n", eid)
@@ -91,4 +84,22 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("one of -list, -run, -all is required")
 	}
+}
+
+// writeList prints the runner registry as an aligned id/description
+// table — the same ids and descriptions GET /v1/runners serves.
+func writeList(w io.Writer) error {
+	infos := experiment.Runners()
+	width := 0
+	for _, info := range infos {
+		if len(info.ID) > width {
+			width = len(info.ID)
+		}
+	}
+	for _, info := range infos {
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, info.ID, info.Description); err != nil {
+			return err
+		}
+	}
+	return nil
 }

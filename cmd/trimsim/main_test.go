@@ -1,12 +1,54 @@
 package main
 
 import (
+	"strings"
 	"testing"
+
+	"tcptrim/internal/experiment"
 )
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriteList: every registry id appears with its description — the
+// same metadata the service serves at GET /v1/runners.
+func TestWriteList(t *testing.T) {
+	var buf strings.Builder
+	if err := writeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	ids := experiment.IDs()
+	if len(lines) != len(ids) {
+		t.Fatalf("-list printed %d lines for %d runners", len(lines), len(ids))
+	}
+	for i, info := range experiment.Runners() {
+		if !strings.HasPrefix(lines[i], info.ID) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], info.ID)
+		}
+		if !strings.Contains(lines[i], info.Description) {
+			t.Errorf("line %d lacks the description of %s", i, info.ID)
+		}
+	}
+}
+
+// TestRunRejectsBadOptions: the consolidated Options.Validate gate runs
+// before any simulation.
+func TestRunRejectsBadOptions(t *testing.T) {
+	for _, args := range [][]string{
+		{"-run", "fig4", "-aqm", "bogus"},
+		{"-run", "fig4", "-recovery", "bogus"},
+		{"-run", "fig4", "-fidelity", "bogus"},
+		{"-run", "fig4", "-shards", "0"},
+		{"-run", "fig8", "-reps", "-1"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted invalid options", args)
+		}
 	}
 }
 

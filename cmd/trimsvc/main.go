@@ -1,0 +1,84 @@
+// Command trimsvc serves the experiment service: a REST control plane
+// over the same runner registry trimsim uses, with live SSE metric
+// streams and a content-addressed result cache.
+//
+//	trimsvc -addr :8089 &
+//	curl -s localhost:8089/v1/runners | jq '.runners[].id'
+//	curl -s -X POST localhost:8089/v1/runs -d '{"runner":"fig4"}'
+//	curl -s -N localhost:8089/v1/runs/run-000001/events
+//	curl -s localhost:8089/v1/runs/run-000001/result
+//
+// SIGINT/SIGTERM drain the service: in-flight runs get -drain to finish
+// (canceled at the next sweep-cell boundary past it), SSE clients see a
+// terminal event, and the cache index is persisted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcptrim/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trimsvc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trimsvc", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8089", "listen address")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS/2)")
+	cacheDir := fs.String("cache", "", "persist results under this directory (default: in-memory only)")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight runs")
+	force := fs.Bool("force-cache", false, "allow -cache without a VCS-stamped build (unsound across differing dev builds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	version := service.CodeVersion()
+	if *cacheDir != "" && version == "dev" && !*force {
+		return errors.New("-cache needs a VCS-stamped build (the key includes the code version); use -force-cache to override")
+	}
+	svc, err := service.New(service.Config{Workers: *workers, CacheDir: *cacheDir})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc}
+	fmt.Printf("trimsvc: listening on http://%s (code version %s)\n", ln.Addr(), version)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("trimsvc: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	svcErr := svc.Shutdown(drainCtx)
+	httpErr := httpSrv.Shutdown(drainCtx)
+	if svcErr != nil {
+		return svcErr
+	}
+	return httpErr
+}

@@ -234,26 +234,35 @@ func (r *AlphaResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("abl-inherit", func(opts Options, w io.Writer) error {
-	res, err := RunInheritanceAblation(opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("abl-inherit",
+	"Ablation: window inheritance policy on the Fig. 4 workload",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunInheritanceAblation(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("abl-probe", func(opts Options, w io.Writer) error {
-	res, err := RunMechanismAblation(opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("abl-probe",
+	"Ablation: TRIM probe and queue-control mechanisms (2 LPTs x 8 SPTs)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunMechanismAblation(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("abl-alpha", func(opts Options, w io.Writer) error {
-	res, err := RunAlphaAblation([]float64{0.125, 0.25, 0.5}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("abl-alpha",
+	"Ablation: smoothed-RTT gain alpha on the Fig. 9 scenario",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunAlphaAblation([]float64{0.125, 0.25, 0.5}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -138,8 +138,16 @@ func RunAQMSweep(protos []Protocol, discs []AQMDiscipline, concs []int, opts Opt
 			}
 		}
 	}
+	ctr := opts.cells(len(cells))
 	rows, err := RunSeededTrials(len(cells), opts.seed(), func(i int, seed int64) (*AQMSweepRow, error) {
-		return runAQMSweepCell(cells[i].proto, cells[i].disc, cells[i].conc, seed)
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
+		row, err := runAQMSweepCell(cells[i].proto, cells[i].disc, cells[i].conc, seed)
+		if err == nil {
+			ctr.finished(fmt.Sprintf("%s/%s/%d-conns", cells[i].proto, cells[i].disc.Name, cells[i].conc))
+		}
+		return row, err
 	})
 	if err != nil {
 		return nil, err
@@ -283,21 +291,27 @@ func (r *AQMSweepResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("aqmsweep", func(opts Options, w io.Writer) error {
-	res, err := RunAQMSweep(AQMSweepProtocols, DefaultAQMDisciplines, AQMSweepConcurrency, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("aqmsweep",
+	"TRIM-vs-AQM interplay: protocol x discipline x concurrency, FCT/goodput/drop split",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunAQMSweep(AQMSweepProtocols, DefaultAQMDisciplines, AQMSweepConcurrency, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
 // aqmsweep-smoke is the CI slice: one protocol, every discipline, lowest
 // concurrency, fast enough for every push.
-var _ = register("aqmsweep-smoke", func(opts Options, w io.Writer) error {
-	res, err := RunAQMSweep([]Protocol{ProtoTRIM}, DefaultAQMDisciplines,
-		AQMSweepConcurrency[:1], opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("aqmsweep-smoke",
+	"CI slice of aqmsweep: one protocol, every discipline, lowest concurrency",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunAQMSweep([]Protocol{ProtoTRIM}, DefaultAQMDisciplines,
+			AQMSweepConcurrency[:1], opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

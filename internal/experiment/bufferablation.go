@@ -139,10 +139,13 @@ func BufferAblationCaps() []int {
 	return append(aqm.TinyBufferCaps(), 20, 50, 100, 200)
 }
 
-var _ = register("abl-buffer", func(opts Options, w io.Writer) error {
-	res, err := RunBufferAblation([]Protocol{ProtoTCP, ProtoTRIM}, BufferAblationCaps(), opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("abl-buffer",
+	"Ablation: switch-buffer sensitivity from the tiny-buffer regime up to 200 packets",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunBufferAblation([]Protocol{ProtoTCP, ProtoTRIM}, BufferAblationCaps(), opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -66,8 +66,16 @@ func RunConcurrency(proto Protocol, lptCounts []int, maxSPT int, opts Options) (
 			keys = append(keys, cellKey{lpts, spts})
 		}
 	}
+	ctr := opts.cells(len(keys))
 	cells, err := RunTrialsWorkers(len(keys), trialWorkers(opts.shards()), func(i int) (*ConcurrencyCell, error) {
-		return runConcurrencyCell(proto, keys[i].lpts, keys[i].spts, opts.seed(), opts.shards())
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
+		cell, err := runConcurrencyCell(proto, keys[i].lpts, keys[i].spts, opts.seed(), opts.shards())
+		if err == nil {
+			ctr.finished(fmt.Sprintf("%d-lpts/%d-spts", keys[i].lpts, keys[i].spts))
+		}
+		return cell, err
 	})
 	if err != nil {
 		return nil, err
@@ -180,25 +188,31 @@ func (r *ConcurrencyResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("fig5", func(opts Options, w io.Writer) error {
-	res, err := RunConcurrency(ProtoTCP, []int{0, 1, 2}, 10, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig5",
+	"Concurrency impairment under legacy TCP: timeouts and completion vs background LPT count (Fig. 5)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunConcurrency(ProtoTCP, []int{0, 1, 2}, 10, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("fig7", func(opts Options, w io.Writer) error {
-	trim, err := RunConcurrency(ProtoTRIM, []int{2}, 10, opts)
-	if err != nil {
-		return err
-	}
-	reno, err := RunConcurrency(ProtoTCP, []int{2}, 10, opts)
-	if err != nil {
-		return err
-	}
-	if err := trim.WriteTables(w); err != nil {
-		return err
-	}
-	return reno.WriteTables(w)
-})
+var _ = register("fig7",
+	"Concurrency impairment under TCP-TRIM on the Fig. 5 scenario (Fig. 7)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		trim, err := RunConcurrency(ProtoTRIM, []int{2}, 10, opts)
+		if err != nil {
+			return err
+		}
+		reno, err := RunConcurrency(ProtoTCP, []int{2}, 10, opts)
+		if err != nil {
+			return err
+		}
+		if err := trim.WriteTables(w); err != nil {
+			return err
+		}
+		return reno.WriteTables(w)
+	})

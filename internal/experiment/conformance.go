@@ -95,6 +95,9 @@ func RunConformance(base int64, reps, shards int, w io.Writer) error {
 	return fmt.Errorf("conformance: %d divergences between core.Trim and the paper oracle", divs)
 }
 
-var _ = register("conformance", func(opts Options, w io.Writer) error {
-	return RunConformance(opts.seed(), opts.reps(conformanceSeeds), opts.shards(), w)
-})
+var _ = register("conformance",
+	"Paper-conformance oracle: shadow-execute Algorithms 1-2 against the live TRIM policy over a seed matrix",
+	[]string{"reps"},
+	func(opts Options, w io.Writer) error {
+		return RunConformance(opts.seed(), opts.reps(conformanceSeeds), opts.shards(), w)
+	})

@@ -155,15 +155,18 @@ func (r *ConvergenceResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("fig10", func(opts Options, w io.Writer) error {
-	for _, proto := range []Protocol{ProtoTCP, ProtoTRIM} {
-		res, err := RunConvergence(proto, opts)
-		if err != nil {
-			return err
+var _ = register("fig10",
+	"Convergence and fairness of staggered long flows: Jain index and share spread (Fig. 10)",
+	[]string{"csv"},
+	func(opts Options, w io.Writer) error {
+		for _, proto := range []Protocol{ProtoTCP, ProtoTRIM} {
+			res, err := RunConvergence(proto, opts)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteTables(w); err != nil {
+				return err
+			}
 		}
-		if err := res.WriteTables(w); err != nil {
-			return err
-		}
-	}
-	return nil
-})
+		return nil
+	})

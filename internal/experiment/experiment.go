@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -145,6 +146,18 @@ type Options struct {
 	// active train; the differential tests pin that small-scale outputs
 	// stay byte-identical across fidelities.
 	Fidelity string
+	// Progress optionally receives live observability events (samples,
+	// completed responses, finished cells — see ProgressEvent) while the
+	// run simulates. Hooks fire only from code paths that execute
+	// anyway, so arming one never changes results: the same spec still
+	// produces byte-identical output. Publish is called from worker and
+	// shard goroutines; implementations must be concurrency-safe.
+	Progress Progress
+	// Context optionally bounds the run. Runners with long cell
+	// fan-outs poll it between cells and abort with its error; the
+	// service uses it to cancel in-flight jobs. nil means run to
+	// completion.
+	Context context.Context
 }
 
 // fidelity resolves the Fidelity option (empty → packet).
@@ -294,14 +307,55 @@ func spaces(n int) string {
 // Runner executes one registered experiment and writes its tables.
 type Runner func(opts Options, w io.Writer) error
 
+// RunnerInfo describes one registered experiment: what it reproduces
+// and which Options fields it honors. trimsim -list and the service's
+// GET /v1/runners both render from it, so the CLI and the API can never
+// drift apart.
+type RunnerInfo struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+	// Options lists the Options fields beyond Seed and Shards (which
+	// every runner honors) that this runner consumes: "reps", "csv",
+	// "aqm", "recovery", "fidelity".
+	Options []string `json:"options,omitempty"`
+}
+
+// registryEntry pairs a runner with its metadata.
+type registryEntry struct {
+	info RunnerInfo
+	run  Runner
+}
+
 // registry maps experiment ids to runners; ids follow DESIGN.md.
-var registry = map[string]Runner{}
+var registry = map[string]registryEntry{}
+
+// Register adds a runner to the registry. Figure/table runners register
+// themselves at init; external callers (service tests registering
+// controllable fakes, downstream tools adding scenarios) may add more.
+// Duplicate ids are an error — a silently shadowed figure would be a
+// reproduction bug.
+func Register(info RunnerInfo, r Runner) error {
+	if info.ID == "" {
+		return fmt.Errorf("experiment: register: empty id")
+	}
+	if r == nil {
+		return fmt.Errorf("experiment: register %q: nil runner", info.ID)
+	}
+	if _, dup := registry[info.ID]; dup {
+		return fmt.Errorf("experiment: register %q: already registered", info.ID)
+	}
+	registry[info.ID] = registryEntry{info: info, run: r}
+	return nil
+}
 
 // register is called from each experiment file's top-level declarations
 // (a registry is one of the sanctioned uses of initialization-time side
-// effects: deterministic, no I/O).
-func register(id string, r Runner) bool {
-	registry[id] = r
+// effects: deterministic, no I/O). honors lists the Options fields
+// beyond Seed/Shards the runner consumes; a clash panics at init.
+func register(id, desc string, honors []string, r Runner) bool {
+	if err := Register(RunnerInfo{ID: id, Description: desc, Options: honors}, r); err != nil {
+		panic(err)
+	}
 	return true
 }
 
@@ -315,11 +369,31 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given id.
+// Runners returns every registered experiment's metadata, sorted by id.
+func Runners() []RunnerInfo {
+	out := make([]RunnerInfo, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id].info)
+	}
+	return out
+}
+
+// Describe returns the metadata for one experiment id.
+func Describe(id string) (RunnerInfo, bool) {
+	e, ok := registry[id]
+	return e.info, ok
+}
+
+// Run executes the experiment with the given id. Options are validated
+// first (see Validate), so every entry point — CLI, service, tests —
+// rejects a malformed spec before any simulation starts.
 func Run(id string, opts Options, w io.Writer) error {
-	r, ok := registry[id]
+	e, ok := registry[id]
 	if !ok {
 		return fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
 	}
-	return r(opts, w)
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	return e.run(opts, w)
 }

@@ -256,18 +256,24 @@ func (r *DelayBasedResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("ext-deadline", func(opts Options, w io.Writer) error {
-	res, err := RunDeadline(opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("ext-deadline",
+	"Extension: D2TCP vs DCTCP on a deadline-bound incast",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunDeadline(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("ext-delay", func(opts Options, w io.Writer) error {
-	res, err := RunDelayBased(opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("ext-delay",
+	"Extension: delay-based schemes (Vegas) on the ON/OFF impairment workload",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunDelayBased(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -235,18 +235,24 @@ func (r *FatTreeResult) WriteTables(w io.Writer) error {
 // FatTreeProtocols is the paper's comparison set.
 var FatTreeProtocols = []Protocol{ProtoTCP, ProtoDCTCP, ProtoL2DCT, ProtoTRIM}
 
-var _ = register("fig12", func(opts Options, w io.Writer) error {
-	res, err := RunFatTree(FatTreeProtocols, []int{4, 6, 8, 10}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig12",
+	"Mean and maximum completion times in the 10 Gbps fat-tree (Fig. 12)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunFatTree(FatTreeProtocols, []int{4, 6, 8, 10}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("table1", func(opts Options, w io.Writer) error {
-	res, err := RunFatTree(FatTreeProtocols, []int{4, 6, 8, 10}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("table1",
+	"Timeout counts per protocol in the 10 Gbps fat-tree (Table I)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunFatTree(FatTreeProtocols, []int{4, 6, 8, 10}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -174,6 +174,16 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	queueSeries := metrics.Sample(sched, 0, sim.At(impairmentHorizon),
 		100*time.Microsecond, func() float64 { return float64(queue.Len()) })
 
+	// Live streaming: every sampler above already Records on its own
+	// schedule, so tapping them adds no events — an armed Progress hook
+	// observes the identical simulation. Goodput taps pre-apply the Mbps
+	// conversion the batch path performs after the run.
+	opts.tapSeries("traced-goodput-mbps", 1e-6, res.TracedThroughput)
+	opts.tapSeries("total-goodput-mbps", 1e-6, res.TotalThroughput)
+	opts.tapSeries("cwnd-segments", 1, res.TracedCwnd)
+	opts.tapSeries("queue-depth-pkts", 1, queueSeries)
+	opts.tapResponses(fleet.Collector())
+
 	if err := fleet.Arm(); err != nil {
 		return nil, err
 	}
@@ -204,6 +214,12 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	// Convert byte rates to Mbps for reporting.
 	scaleSeries(res.TracedThroughput, 1e-6)
 	scaleSeries(res.TotalThroughput, 1e-6)
+	if opts.Progress != nil {
+		rb := fleet.Retransmissions()
+		opts.publish(ProgressEvent{Kind: "retrans", Name: label, Retrans: &rb})
+		opts.publish(ProgressEvent{Kind: "fct", Name: label,
+			Dist: fleet.Collector().CompletionTimes(nil).Snapshot()})
+	}
 	prefix := "impairment-" + label
 	if err := saveSeriesCSV(opts, prefix+"-cwnd", "segments", res.TracedCwnd); err != nil {
 		return nil, err
@@ -273,18 +289,24 @@ func writeSeriesTable(w io.Writer, title string, s *metrics.Series, skipBelow, s
 	return t.Write(w)
 }
 
-var _ = register("fig4", func(opts Options, w io.Writer) error {
-	res, err := RunImpairment(ProtoTCP, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig4",
+	"Impairment test under legacy TCP: timeouts, inherited windows, LPT completion on the 5-server star (Fig. 4)",
+	[]string{"csv", "aqm", "fidelity"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunImpairment(ProtoTCP, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("fig6", func(opts Options, w io.Writer) error {
-	res, err := RunImpairment(ProtoTRIM, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig6",
+	"Impairment test under TCP-TRIM: probe-based window re-tuning on the Fig. 4 scenario (Fig. 6)",
+	[]string{"csv", "aqm", "fidelity"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunImpairment(ProtoTRIM, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -111,16 +111,19 @@ func (r *JitterResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("ext-jitter", func(opts Options, w io.Writer) error {
-	res, err := RunJitter([]time.Duration{
-		0,
-		20 * time.Microsecond,
-		50 * time.Microsecond,
-		100 * time.Microsecond,
-		300 * time.Microsecond,
-	}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("ext-jitter",
+	"Extension: TRIM's delay signal under per-packet RTT jitter",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunJitter([]time.Duration{
+			0,
+			20 * time.Microsecond,
+			50 * time.Microsecond,
+			100 * time.Microsecond,
+			300 * time.Microsecond,
+		}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -126,10 +126,13 @@ func (r *KSweepResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("eq22", func(opts Options, w io.Writer) error {
-	res, err := RunKSweep([]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("eq22",
+	"K guideline sweep around Eq. 22's K*: utilization, queue, drops vs K (Sec. III-D)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunKSweep([]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -91,8 +91,16 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 			cells = append(cells, cell{p, tors})
 		}
 	}
+	ctr := opts.cells(len(cells))
 	rows, err := RunTrialsWorkers(len(cells), trialWorkers(opts.shards()), func(i int) (*LargeScaleRow, error) {
-		return runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed(), opts.shards(), fid)
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
+		row, err := runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed(), opts.shards(), fid)
+		if err == nil {
+			ctr.finished(fmt.Sprintf("%s/%d-tors", cells[i].proto, cells[i].tors))
+		}
+		return row, err
 	})
 	if err != nil {
 		return nil, err
@@ -242,10 +250,13 @@ func (r *LargeScaleResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("fig8", func(opts Options, w io.Writer) error {
-	res, err := RunLargeScale([]Protocol{ProtoTCP, ProtoTRIM}, []int{5, 10, 15, 20, 25}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig8",
+	"ACT of short trains vs network scale on the two-level tree, TCP vs TCP-TRIM (Fig. 8b)",
+	[]string{"reps", "fidelity"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunLargeScale([]Protocol{ProtoTCP, ProtoTRIM}, []int{5, 10, 15, 20, 25}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -137,10 +137,13 @@ func (r *LossResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("ext-loss", func(opts Options, w io.Writer) error {
-	res, err := RunLossRobustness([]float64{0, 1, 4}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("ext-loss",
+	"Extension: robustness to random non-congestive loss, with and without SACK",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunLossRobustness([]float64{0, 1, 4}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -117,11 +117,15 @@ func RunMillion(protos []Protocol, cfg MillionConfig, opts Options) (*MillionRes
 		}
 	}
 	conns := cfg.ToRs * cfg.ServersPerToR * cfg.ConnsPerServer
-	if fid == hybrid.FidelityPacket && conns > 100_000 {
-		return nil, fmt.Errorf("fig8million: %d connections at packet fidelity; use -fidelity hybrid", conns)
+	if err := CheckFidelityScale(fid, conns); err != nil {
+		return nil, err
 	}
 	res := &MillionResult{Config: cfg, Conns: conns}
+	ctr := opts.cells(len(protos))
 	for _, proto := range protos {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		if _, err := NewCC(proto); err != nil {
 			return nil, err
 		}
@@ -130,6 +134,7 @@ func RunMillion(protos []Protocol, cfg MillionConfig, opts Options) (*MillionRes
 			return nil, err
 		}
 		res.Rows = append(res.Rows, *row)
+		ctr.finished(string(proto))
 	}
 	return res, nil
 }
@@ -168,6 +173,7 @@ func runMillionOnce(proto Protocol, cfg MillionConfig, fid hybrid.Fidelity, opts
 	// every connection of the remaining servers sends one short train of
 	// 1–4 segments at a uniform instant inside the window.
 	coll := &httpapp.Collector{}
+	opts.tapResponses(coll)
 	row := &MillionRow{Protocol: proto}
 	perServer := cfg.ConnsPerServer
 	idx := 0
@@ -225,6 +231,11 @@ func runMillionOnce(proto Protocol, cfg MillionConfig, fid hybrid.Fidelity, opts
 	row.P999 = secondsToDuration(fct.Percentile(99.9))
 	row.Sketched = fct.Sketched()
 	row.Timeouts = fleet.TotalTimeouts()
+	if opts.Progress != nil {
+		rb := fleet.Retransmissions()
+		opts.publish(ProgressEvent{Kind: "retrans", Name: string(proto), Retrans: &rb})
+		opts.publish(ProgressEvent{Kind: "fct", Name: string(proto), Dist: fct.Snapshot()})
+	}
 	row.PeakLive = fleet.PeakLive()
 	row.ArenaCap = fleet.ArenaCap()
 	row.Wall = time.Since(start)
@@ -272,18 +283,24 @@ func (r *MillionResult) WriteTables(w io.Writer) error {
 	return err
 }
 
-var _ = register("fig8million", func(opts Options, w io.Writer) error {
-	res, err := RunMillion([]Protocol{ProtoTCP, ProtoTRIM}, MillionFull, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig8million",
+	"Million-connection Fig. 8-style release on the hybrid fidelity layer: 25 ToRs x 40 servers x 1000 conns",
+	[]string{"fidelity"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunMillion([]Protocol{ProtoTCP, ProtoTRIM}, MillionFull, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("fig8million-smoke", func(opts Options, w io.Writer) error {
-	res, err := RunMillion([]Protocol{ProtoTCP, ProtoTRIM}, MillionSmoke, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig8million-smoke",
+	"CI slice of fig8million: 10k connections through the hybrid flow store",
+	[]string{"fidelity"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunMillion([]Protocol{ProtoTCP, ProtoTRIM}, MillionSmoke, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -131,15 +131,18 @@ func (r *MultiHopResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("fig11", func(opts Options, w io.Writer) error {
-	for _, proto := range []Protocol{ProtoTCP, ProtoTRIM} {
-		res, err := RunMultiHop(proto, opts)
-		if err != nil {
-			return err
+var _ = register("fig11",
+	"Multi-hop chain throughput, TCP vs TCP-TRIM (Fig. 11)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		for _, proto := range []Protocol{ProtoTCP, ProtoTRIM} {
+			res, err := RunMultiHop(proto, opts)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteTables(w); err != nil {
+				return err
+			}
 		}
-		if err := res.WriteTables(w); err != nil {
-			return err
-		}
-	}
-	return nil
-})
+		return nil
+	})

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"tcptrim/internal/httpapp"
@@ -158,7 +159,16 @@ func runPropertiesCell(proto Protocol, flows int, trace bool) (*PropertiesRow, *
 
 // WriteTables renders the Fig. 9 outputs.
 func (r *PropertiesResult) WriteTables(w io.Writer) error {
-	for proto, trace := range r.QueueTrace {
+	// Iterate traces in sorted protocol order: map iteration order would
+	// make the rendered output nondeterministic across runs, which breaks
+	// byte-identical verification and content-addressed result caching.
+	protos := make([]Protocol, 0, len(r.QueueTrace))
+	for proto := range r.QueueTrace {
+		protos = append(protos, proto)
+	}
+	sort.Slice(protos, func(i, j int) bool { return protos[i] < protos[j] })
+	for _, proto := range protos {
+		trace := r.QueueTrace[proto]
 		t := &Table{
 			Title:  fmt.Sprintf("Fig. 9(a) queue behaviour with 5 long flows (%s)", proto),
 			Header: []string{"metric", "packets"},
@@ -191,10 +201,13 @@ func (r *PropertiesResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("fig9", func(opts Options, w io.Writer) error {
-	res, err := RunProperties([]Protocol{ProtoTCP, ProtoTRIM}, 2, 10, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig9",
+	"TRIM properties: queue behaviour with long flows, and queue/drops/goodput vs flow count (Fig. 9)",
+	[]string{"csv"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunProperties([]Protocol{ProtoTCP, ProtoTRIM}, 2, 10, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -142,9 +142,17 @@ func RunRecoverySweep(policies, aqms []string, intensities []FaultIntensity, buf
 			}
 		}
 	}
+	ctr := opts.cells(len(cells))
 	rows, err := RunSeededTrialsWorkers(len(cells), opts.seed(), trialWorkers(opts.shards()), func(i int, seed int64) (*RecoverySweepRow, error) {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		c := cells[i]
-		return runRecoveryCell(c.policy, c.aqm, c.fi, c.buffer, seed, opts.shards())
+		row, err := runRecoveryCell(c.policy, c.aqm, c.fi, c.buffer, seed, opts.shards())
+		if err == nil {
+			ctr.finished(fmt.Sprintf("%s/%s/%s/%d-pkts", c.policy, c.aqm, c.fi.Name, c.buffer))
+		}
+		return row, err
 	})
 	if err != nil {
 		return nil, err
@@ -352,23 +360,29 @@ func (r *RecoverySweepResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("recoverysweep", func(opts Options, w io.Writer) error {
-	res, err := RunRecoverySweep(tcp.RecoveryNames(), RecoverySweepAQMs,
-		recoverySweepIntensities(), RecoverySweepBuffers, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("recoverysweep",
+	"Loss-recovery sweep: policy x AQM x fault x buffer on the faulted incast star",
+	[]string{"aqm", "recovery"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunRecoverySweep(tcp.RecoveryNames(), RecoverySweepAQMs,
+			recoverySweepIntensities(), RecoverySweepBuffers, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
 // recoverysweep-smoke is the CI chaos check: all three policies on the
 // hardest corner (severe faults, tiny drop-tail buffer), fast enough for
 // every push.
-var _ = register("recoverysweep-smoke", func(opts Options, w io.Writer) error {
-	res, err := RunRecoverySweep(tcp.RecoveryNames(), []string{"droptail"},
-		[]FaultIntensity{DefaultFaultIntensities[3]}, []int{aqm.TinyBufferPackets}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("recoverysweep-smoke",
+	"CI slice of recoverysweep: all policies on the severe tiny-buffer corner",
+	[]string{"recovery"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunRecoverySweep(tcp.RecoveryNames(), []string{"droptail"},
+			[]FaultIntensity{DefaultFaultIntensities[3]}, []int{aqm.TinyBufferPackets}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

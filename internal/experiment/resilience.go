@@ -152,8 +152,16 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 	if err != nil {
 		return nil, err
 	}
+	ctr := opts.cells(len(cells))
 	rows, err := RunSeededTrialsWorkers(len(cells), opts.seed(), trialWorkers(opts.shards()), func(i int, seed int64) (*ResilienceRow, error) {
-		return runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet, recovery, opts.shards())
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
+		row, err := runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet, recovery, opts.shards())
+		if err == nil {
+			ctr.finished(fmt.Sprintf("%s/%s", cells[i].proto, cells[i].fi.Name))
+		}
+		return row, err
 	})
 	if err != nil {
 		return nil, err
@@ -362,20 +370,26 @@ func (r *ResilienceResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("resilience", func(opts Options, w io.Writer) error {
-	res, err := RunResilience(ResilienceProtocols, DefaultFaultIntensities, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("resilience",
+	"Fault-injection matrix: protocol x fault intensity, goodput retention and recovery time",
+	[]string{"aqm", "recovery"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunResilience(ResilienceProtocols, DefaultFaultIntensities, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
 // resilience-smoke is the CI chaos check: one protocol, clean + mild, fast
 // enough for every push.
-var _ = register("resilience-smoke", func(opts Options, w io.Writer) error {
-	res, err := RunResilience([]Protocol{ProtoTRIM}, DefaultFaultIntensities[:2], opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("resilience-smoke",
+	"CI slice of resilience: one protocol, clean + mild faults",
+	[]string{"aqm", "recovery"},
+	func(opts Options, w io.Writer) error {
+		res, err := RunResilience([]Protocol{ProtoTRIM}, DefaultFaultIntensities[:2], opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

@@ -156,10 +156,13 @@ func (r *ScatterResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("ext-scatter", func(opts Options, w io.Writer) error {
-	res, err := RunScatterGather([]Protocol{ProtoTCP, ProtoDCTCP, ProtoTRIM}, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("ext-scatter",
+	"Extension: request-driven scatter/gather - aggregation barrier latency across rounds",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunScatterGather([]Protocol{ProtoTCP, ProtoDCTCP, ProtoTRIM}, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

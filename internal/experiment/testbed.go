@@ -347,18 +347,24 @@ func (r *WebServiceResult) WriteTables(w io.Writer) error {
 	return t.Write(w)
 }
 
-var _ = register("fig13a", func(opts Options, w io.Writer) error {
-	res, err := RunARCT([]Protocol{ProtoCUBIC, ProtoTRIM}, ARCTMeanSizes, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig13a",
+	"ARCT vs mean response size on the 100 Mbps testbed, CUBIC vs TCP-TRIM (Fig. 13a)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunARCT([]Protocol{ProtoCUBIC, ProtoTRIM}, ARCTMeanSizes, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("fig13", func(opts Options, w io.Writer) error {
-	res, err := RunWebService(WebServiceProtocols, opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig13",
+	"Web-service response completion times across protocols (Fig. 13b-e)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunWebService(WebServiceProtocols, opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

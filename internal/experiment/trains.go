@@ -150,18 +150,24 @@ func (r *TrainAnalysisResult) WriteTables(w io.Writer) error {
 	return t2.Write(w)
 }
 
-var _ = register("fig1", func(opts Options, w io.Writer) error {
-	res, err := RunTrainAnalysis(opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig1",
+	"Packet trains recovered from one persistent connection's trace: sizes, gaps, ON/OFF structure (Fig. 1)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunTrainAnalysis(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})
 
-var _ = register("fig2", func(opts Options, w io.Writer) error {
-	res, err := RunTrainAnalysis(opts)
-	if err != nil {
-		return err
-	}
-	return res.WriteTables(w)
-})
+var _ = register("fig2",
+	"Packet-train size bands and inter-train gap percentiles over the response mix (Fig. 2)",
+	nil,
+	func(opts Options, w io.Writer) error {
+		res, err := RunTrainAnalysis(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteTables(w)
+	})

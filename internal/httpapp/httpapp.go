@@ -40,7 +40,17 @@ func (r Response) CompletionTime() time.Duration {
 type Collector struct {
 	buckets []collBucket
 	merged  []Response
+	tap     func(Response)
 }
+
+// Tap registers fn to observe every completion as it is recorded — the
+// live-streaming hook the experiment service uses to watch a fleet's
+// progress while the run is still simulating. One tap per collector;
+// set it before the simulation starts (like bucket growth, only
+// single-threaded phases may install it). fn runs on whichever shard
+// goroutine records the completion, so it must be safe for concurrent
+// invocation and must never touch simulation state.
+func (c *Collector) Tap(fn func(Response)) { c.tap = fn }
 
 // collBucket is one shard's private slice of the collector. scheduled
 // and completed are kept separately (incremented on possibly different
@@ -65,7 +75,14 @@ func (c *Collector) bucket(sh int) *collBucket {
 // Callers on other shards must go through a Server, which records into
 // its own shard's bucket.
 func (c *Collector) Add(label string, bytes int, res tcp.TrainResult) {
-	c.bucket(0).add(label, bytes, res)
+	c.notify(c.bucket(0).add(label, bytes, res))
+}
+
+// notify forwards a just-recorded response to the tap, if one is set.
+func (c *Collector) notify(r Response) {
+	if c.tap != nil {
+		c.tap(r)
+	}
 }
 
 // Reserve pre-grows the bucket table through shard sh without recording
@@ -89,16 +106,18 @@ func (c *Collector) NoteScheduled(sh int) {
 func (c *Collector) Record(sh int, label string, bytes int, res tcp.TrainResult) {
 	b := &c.buckets[sh]
 	b.completed++
-	b.add(label, bytes, res)
+	c.notify(b.add(label, bytes, res))
 }
 
-func (b *collBucket) add(label string, bytes int, res tcp.TrainResult) {
-	b.responses = append(b.responses, Response{
+func (b *collBucket) add(label string, bytes int, res tcp.TrainResult) Response {
+	r := Response{
 		Label:     label,
 		Bytes:     bytes,
 		Released:  res.Released,
 		Completed: res.Completed,
-	})
+	}
+	b.responses = append(b.responses, r)
+	return r
 }
 
 // Responses returns all completed responses in completion order (shared
@@ -213,7 +232,7 @@ func (s *Server) ScheduleResponse(at sim.Time, bytes int) error {
 			// the run starts).
 			b := &s.collector.buckets[s.shard]
 			b.completed++
-			b.add(s.label, bytes, res)
+			s.collector.notify(b.add(s.label, bytes, res))
 		})
 	})
 	if err != nil {

@@ -301,11 +301,23 @@ type TimePoint struct {
 // Series is an append-only time series of observations.
 type Series struct {
 	points []TimePoint
+	tap    func(TimePoint)
 }
+
+// Tap registers fn to observe every subsequent Record as it happens —
+// the live-streaming hook the experiment service uses to forward
+// sampler output while a run is still simulating. One tap per series;
+// set it before the simulation starts. fn runs on whichever goroutine
+// records (a shard's, under PDES), so it must be safe for concurrent
+// use with taps on other series and must never touch simulation state.
+func (s *Series) Tap(fn func(TimePoint)) { s.tap = fn }
 
 // Record appends an observation.
 func (s *Series) Record(at sim.Time, v float64) {
 	s.points = append(s.points, TimePoint{At: at, Value: v})
+	if s.tap != nil {
+		s.tap(TimePoint{At: at, Value: v})
+	}
 }
 
 // Points returns the recorded observations (shared slice; callers must

@@ -1,0 +1,113 @@
+package metrics
+
+// Snapshot is the serializable capture of a Distribution — the wire
+// format the experiment service streams over SSE and stores in its
+// result cache. It is exact on both sides of the sample cap: below the
+// cap the sorted raw samples travel verbatim, above it the log-linear
+// sketch's occupied buckets do. Either way a decoded snapshot answers
+// Count/Mean/Min/Max/Percentile/CDF queries identically to the source
+// distribution at capture time: Go's encoding/json emits the shortest
+// float64 representation that parses back to the same bits, so nothing
+// is lost in transit.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot is a self-contained capture of a Distribution's state.
+type Snapshot struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// Samples carries the sorted raw samples while the distribution is
+	// exact; nil once the sketch has engaged.
+	Samples []float64 `json:"samples,omitempty"`
+	// Sketch carries the folded histogram once the sample cap was
+	// crossed.
+	Sketch *SketchSnapshot `json:"sketch,omitempty"`
+}
+
+// SketchSnapshot serializes the log-linear quantile sketch sparsely:
+// only occupied buckets travel (a 1M-sample FCT sketch occupies a few
+// hundred of the ~7.7k buckets).
+type SketchSnapshot struct {
+	// NonPos counts samples ≤ 0 (they rank below every bucket).
+	NonPos int64 `json:"nonpos"`
+	// Total is the sketch's total sample count, NonPos included.
+	Total int64 `json:"total"`
+	// Buckets lists occupied buckets in ascending index order.
+	Buckets []SketchBucket `json:"buckets"`
+}
+
+// SketchBucket is one occupied histogram bucket.
+type SketchBucket struct {
+	Index int   `json:"i"`
+	Count int64 `json:"n"`
+}
+
+// Snapshot captures the distribution's current state. The receiver is
+// left fully sorted (queries were about to pay for that anyway), so
+// taking a snapshot never perturbs later query results.
+func (d *Distribution) Snapshot() *Snapshot {
+	s := &Snapshot{Count: d.n, Sum: d.sum, Min: d.min, Max: d.max}
+	if d.sketch != nil {
+		sk := &SketchSnapshot{NonPos: d.sketch.nonpos, Total: d.sketch.n}
+		for b, c := range d.sketch.counts {
+			if c != 0 {
+				sk.Buckets = append(sk.Buckets, SketchBucket{Index: b, Count: c})
+			}
+		}
+		s.Sketch = sk
+		return s
+	}
+	d.ensureSorted()
+	s.Samples = append([]float64(nil), d.samples...)
+	return s
+}
+
+// Restore rebuilds a Distribution answering every query identically to
+// the snapshot's source at capture time. The result accepts further
+// Adds; the default sample cap applies from there. Malformed snapshots
+// (bucket indices out of range, count mismatches) are rejected rather
+// than silently misreporting.
+func (s *Snapshot) Restore() (*Distribution, error) {
+	if s.Sketch != nil && s.Samples != nil {
+		return nil, fmt.Errorf("metrics: snapshot carries both samples and sketch")
+	}
+	d := &Distribution{n: s.Count, sum: s.Sum, min: s.Min, max: s.Max}
+	if s.Sketch != nil {
+		if s.Sketch.Total != int64(s.Count) {
+			return nil, fmt.Errorf("metrics: sketch total %d != snapshot count %d",
+				s.Sketch.Total, s.Count)
+		}
+		sk := newQuantileSketch()
+		sk.nonpos = s.Sketch.NonPos
+		sk.n = s.Sketch.Total
+		for _, b := range s.Sketch.Buckets {
+			if b.Index < 0 || b.Index >= len(sk.counts) {
+				return nil, fmt.Errorf("metrics: sketch bucket index %d out of range [0, %d)",
+					b.Index, len(sk.counts))
+			}
+			if b.Count < 0 {
+				return nil, fmt.Errorf("metrics: sketch bucket %d has negative count %d",
+					b.Index, b.Count)
+			}
+			sk.counts[b.Index] = b.Count
+		}
+		d.sketch = sk
+		return d, nil
+	}
+	if len(s.Samples) != s.Count {
+		return nil, fmt.Errorf("metrics: snapshot has %d samples but count %d",
+			len(s.Samples), s.Count)
+	}
+	d.samples = append([]float64(nil), s.Samples...)
+	if sort.Float64sAreSorted(d.samples) {
+		d.sorted = len(d.samples)
+	}
+	// Unsorted samples (a hand-built snapshot) are legal: they are
+	// treated as an unsorted tail and ordered on the first query.
+	return d, nil
+}

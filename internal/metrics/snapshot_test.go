@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// fillDeterministic adds n pseudo-random (but fixed-sequence) samples
+// spanning several orders of magnitude, including exact-duplicate and
+// non-positive values, so both snapshot backends see their edge cases.
+func fillDeterministic(d *Distribution, n int) {
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		switch i % 97 {
+		case 0:
+			d.Add(0) // non-positive: exercises the sketch's nonpos rank
+		case 1:
+			d.Add(42.5) // repeated exact value
+		default:
+			// Magnitudes from ~1e-6 to ~1e3.
+			d.Add(math.Ldexp(1+float64(state%4096)/4096, int(state%30)-20))
+		}
+	}
+}
+
+// roundTrip encodes the snapshot to JSON and decodes it back — the exact
+// path service results and SSE events take.
+func roundTrip(t *testing.T, d *Distribution) *Distribution {
+	t.Helper()
+	raw, err := json.Marshal(d.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	restored, err := snap.Restore()
+	if err != nil {
+		t.Fatalf("restore snapshot: %v", err)
+	}
+	return restored
+}
+
+// assertIdentical pins that the restored distribution reports the exact
+// same values (bit for bit, no tolerance) for every query the service
+// renders.
+func assertIdentical(t *testing.T, want, got *Distribution) {
+	t.Helper()
+	if want.Count() != got.Count() {
+		t.Fatalf("count: want %d, got %d", want.Count(), got.Count())
+	}
+	if want.Sketched() != got.Sketched() {
+		t.Fatalf("sketched: want %t, got %t", want.Sketched(), got.Sketched())
+	}
+	for name, pair := range map[string][2]float64{
+		"mean": {want.Mean(), got.Mean()},
+		"min":  {want.Min(), got.Min()},
+		"max":  {want.Max(), got.Max()},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s: want %v, got %v", name, pair[0], pair[1])
+		}
+	}
+	for _, p := range []float64{0, 0.1, 1, 25, 50, 75, 90, 99, 99.9, 100} {
+		if w, g := want.Percentile(p), got.Percentile(p); w != g {
+			t.Errorf("p%v: want %v, got %v", p, w, g)
+		}
+	}
+	for _, x := range []float64{0, 0.001, 1, 42.5, 1000} {
+		if w, g := want.FractionBelow(x), got.FractionBelow(x); w != g {
+			t.Errorf("fractionBelow(%v): want %v, got %v", x, w, g)
+		}
+	}
+	wc, gc := want.CDF(64), got.CDF(64)
+	if len(wc) != len(gc) {
+		t.Fatalf("cdf length: want %d, got %d", len(wc), len(gc))
+	}
+	for i := range wc {
+		if wc[i] != gc[i] {
+			t.Errorf("cdf[%d]: want %+v, got %+v", i, wc[i], gc[i])
+		}
+	}
+}
+
+// TestSnapshotRoundTripAcrossSampleCap pins the exact↔sketch boundary:
+// one sample under the cap (exact backend), at the cap (the Add that
+// engages the sketch), and one past it. A snapshot decoded by the
+// service must report identical percentiles in all three regimes.
+func TestSnapshotRoundTripAcrossSampleCap(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		n        int
+		sketched bool
+	}{
+		{"under-cap", DefaultSampleCap - 1, false},
+		{"at-cap", DefaultSampleCap, true},
+		{"above-cap", DefaultSampleCap + 1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var d Distribution
+			fillDeterministic(&d, tc.n)
+			if d.Sketched() != tc.sketched {
+				t.Fatalf("at n=%d: sketched = %t, want %t", tc.n, d.Sketched(), tc.sketched)
+			}
+			assertIdentical(t, &d, roundTrip(t, &d))
+		})
+	}
+}
+
+// TestSnapshotRoundTripSmall covers tiny exact distributions (the
+// common case for figure-scale FCT collections) including n=1.
+func TestSnapshotRoundTripSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 1000} {
+		var d Distribution
+		fillDeterministic(&d, n)
+		assertIdentical(t, &d, roundTrip(t, &d))
+	}
+}
+
+// TestSnapshotRestoreAcceptsFurtherAdds: a restored distribution is
+// live — Adds keep working and queries stay consistent.
+func TestSnapshotRestoreAcceptsFurtherAdds(t *testing.T) {
+	var d Distribution
+	fillDeterministic(&d, 100)
+	r := roundTrip(t, &d)
+	d.Add(7)
+	r.Add(7)
+	assertIdentical(t, &d, r)
+}
+
+// TestSnapshotRestoreRejectsMalformed pins the validation: corrupt
+// snapshots error out instead of misreporting.
+func TestSnapshotRestoreRejectsMalformed(t *testing.T) {
+	cases := map[string]Snapshot{
+		"count-mismatch": {Count: 3, Samples: []float64{1, 2}},
+		"both-backends": {Count: 1, Samples: []float64{1},
+			Sketch: &SketchSnapshot{Total: 1}},
+		"sketch-total-mismatch": {Count: 2, Sketch: &SketchSnapshot{Total: 3}},
+		"bucket-out-of-range": {Count: 1, Sketch: &SketchSnapshot{Total: 1,
+			Buckets: []SketchBucket{{Index: sketchBuckets, Count: 1}}}},
+		"negative-bucket-count": {Count: 1, Sketch: &SketchSnapshot{Total: 1,
+			Buckets: []SketchBucket{{Index: 0, Count: -1}}}},
+	}
+	for name, snap := range cases {
+		if _, err := snap.Restore(); err == nil {
+			t.Errorf("%s: Restore accepted a malformed snapshot", name)
+		}
+	}
+}
+
+// TestSeriesTap: the tap observes every Record with the recorded values,
+// and an untapped series is unaffected.
+func TestSeriesTap(t *testing.T) {
+	var s Series
+	var seen []TimePoint
+	s.Tap(func(p TimePoint) { seen = append(seen, p) })
+	s.Record(1, 10)
+	s.Record(2, 20)
+	if len(seen) != 2 || seen[0] != (TimePoint{At: 1, Value: 10}) ||
+		seen[1] != (TimePoint{At: 2, Value: 20}) {
+		t.Fatalf("tap saw %+v", seen)
+	}
+	if len(s.Points()) != 2 {
+		t.Fatalf("series kept %d points", len(s.Points()))
+	}
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store. Results live in memory
+// keyed by RunSpec.Key; with a directory configured each result is also
+// written to disk as it arrives (named by its key, so a crash can lose
+// at most the index), and an index of what is cached is persisted at
+// shutdown for the next process to preload.
+type Cache struct {
+	mu  sync.Mutex
+	dir string // "" = memory only
+	mem map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	Spec RunSpec `json:"spec"`
+	// output is kept in memory only while the entry is hot; a preloaded
+	// index entry leaves it nil and Get reads the result file on demand.
+	output []byte
+}
+
+// cacheIndex is the persisted shutdown snapshot: which keys are cached
+// and the spec each one answers, so the next process (and curious
+// humans) can see what is in the store without hashing specs.
+type cacheIndex struct {
+	Version int                   `json:"version"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// NewCache opens a cache. dir == "" keeps results in memory only;
+// otherwise results persist under dir and a prior index is preloaded.
+func NewCache(dir string) (*Cache, error) {
+	c := &Cache{dir: dir, mem: map[string]cacheEntry{}}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: cache dir: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: cache index: %w", err)
+	}
+	var idx cacheIndex
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		return nil, fmt.Errorf("service: cache index: %w", err)
+	}
+	for key, e := range idx.Entries {
+		c.mem[key] = cacheEntry{Spec: e.Spec}
+	}
+	return c, nil
+}
+
+// resultPath is the on-disk location of one result.
+func (c *Cache) resultPath(key string) string {
+	return filepath.Join(c.dir, key+".out")
+}
+
+// Get returns the cached result for key, if any.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.mem[key]
+	if !ok {
+		return nil, false
+	}
+	if e.output == nil && c.dir != "" {
+		out, err := os.ReadFile(c.resultPath(key))
+		if err != nil {
+			// The index promised a result the disk no longer has; treat
+			// as a miss so the run is simply recomputed.
+			delete(c.mem, key)
+			return nil, false
+		}
+		e.output = out
+		c.mem[key] = e
+	}
+	return e.output, e.output != nil
+}
+
+// Put stores a result. The result file is written immediately (renamed
+// into place so readers never see a torn write); the index waits for
+// SaveIndex at shutdown.
+func (c *Cache) Put(key string, spec RunSpec, output []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[key] = cacheEntry{Spec: spec, output: output}
+	if c.dir == "" {
+		return nil
+	}
+	tmp := c.resultPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, output, 0o644); err != nil {
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := os.Rename(tmp, c.resultPath(key)); err != nil {
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	return nil
+}
+
+// Len reports how many results are cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// SaveIndex persists the index of cached keys. No-op for a memory-only
+// cache.
+func (c *Cache) SaveIndex() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	idx := cacheIndex{Version: 1, Entries: make(map[string]cacheEntry, len(c.mem))}
+	for key, e := range c.mem {
+		idx.Entries[key] = cacheEntry{Spec: e.Spec}
+	}
+	raw, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.dir, "index.json.tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("service: cache index: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, "index.json")); err != nil {
+		return fmt.Errorf("service: cache index: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,491 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcptrim/internal/experiment"
+)
+
+// Job states. A job is terminal in done, failed, or canceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is one submitted run and its lifecycle.
+type Job struct {
+	ID     string  `json:"id"`
+	Spec   RunSpec `json:"spec"`
+	State  string  `json:"state"`
+	Error  string  `json:"error,omitempty"`
+	Cached bool    `json:"cached"`
+
+	output []byte
+	cancel context.CancelFunc
+	stream *stream
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the number of concurrent simulations (0 = GOMAXPROCS/2,
+	// minimum 1; each simulation may itself use Shards goroutines).
+	Workers int
+	// CacheDir persists results across restarts ("" = memory only).
+	CacheDir string
+	// CodeVersion overrides the cache key's code component (tests pin
+	// it; "" = CodeVersion()).
+	CodeVersion string
+	// StreamMinGap throttles high-frequency SSE events per metric
+	// (0 = DefaultStreamMinGap; negative = no throttle).
+	StreamMinGap time.Duration
+	// QueueDepth bounds jobs waiting for a worker (0 = 1024). A full
+	// queue rejects new submissions with 503 rather than blocking.
+	QueueDepth int
+}
+
+// DefaultStreamMinGap is the per-metric SSE throttle: at most one
+// "sample"/"responses" event per metric per gap.
+const DefaultStreamMinGap = 50 * time.Millisecond
+
+// Server is the experiment service: REST control plane, SSE streams,
+// result cache, worker pool. It implements http.Handler.
+type Server struct {
+	mux         *http.ServeMux
+	cache       *Cache
+	codeVersion string
+	minGap      time.Duration
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+	seq   int
+
+	queue   chan *Job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	closing     atomic.Bool
+	simulations atomic.Int64
+	cacheHits   atomic.Int64
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) (*Server, error) {
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / 2
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	version := cfg.CodeVersion
+	if version == "" {
+		version = CodeVersion()
+	}
+	minGap := cfg.StreamMinGap
+	switch {
+	case minGap == 0:
+		minGap = DefaultStreamMinGap
+	case minGap < 0:
+		minGap = 0
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cache:       cache,
+		codeVersion: version,
+		minGap:      minGap,
+		jobs:        map[string]*Job{},
+		queue:       make(chan *Job, depth),
+		quit:        make(chan struct{}),
+		baseCtx:     ctx,
+		stop:        cancel,
+	}
+	s.routes()
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/runners", s.handleRunners)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleRunners lists the registry: the same ids, descriptions, and
+// honored-option schemas trimsim -list prints.
+func (s *Server) handleRunners(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runners": experiment.Runners()})
+}
+
+// handleStats exposes the counters the CI cache assertion reads:
+// simulations is the number of actual experiment.Run invocations, which
+// a cache hit must NOT increment.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"codeVersion":   s.codeVersion,
+		"jobs":          jobs,
+		"simulations":   s.simulations.Load(),
+		"cacheHits":     s.cacheHits.Load(),
+		"cachedResults": s.cache.Len(),
+	})
+}
+
+// handleSubmit validates a spec, answers from the cache when the result
+// is already known, and queues a simulation otherwise.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is shutting down")
+		return
+	}
+	var spec RunSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	job := &Job{Spec: spec, stream: newStream()}
+	s.mu.Lock()
+	s.seq++
+	job.ID = fmt.Sprintf("run-%06d", s.seq)
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+
+	if output, ok := s.cache.Get(spec.Key(s.codeVersion)); ok {
+		// Same spec, same code version: the result is already exact.
+		job.State = StateDone
+		job.Cached = true
+		job.output = output
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		job.stream.close(terminalEvent("done", ""))
+		writeJSON(w, http.StatusCreated, job)
+		return
+	}
+
+	job.State = StateQueued
+	s.mu.Unlock()
+	select {
+	case s.queue <- job:
+		writeJSON(w, http.StatusCreated, job)
+	default:
+		s.finishJob(job, StateFailed, "run queue is full")
+		writeError(w, http.StatusServiceUnavailable, "run queue is full")
+	}
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return nil
+	}
+	return job
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.snapshotLocked(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"runs": jobs})
+}
+
+// snapshotLocked copies a job's public fields under s.mu.
+func (s *Server) snapshotLocked(job *Job) Job {
+	return Job{ID: job.ID, Spec: job.Spec, State: job.State, Error: job.Error, Cached: job.Cached}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	s.mu.Lock()
+	snap := s.snapshotLocked(job)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleResult serves the raw result bytes — exactly what trimsim would
+// have printed for the same spec.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	s.mu.Lock()
+	state, output := job.State, job.output
+	s.mu.Unlock()
+	if state != StateDone {
+		writeError(w, http.StatusConflict, "run %s is %s, not done", job.ID, state)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(output)
+}
+
+// handleCancel cancels a queued or running job. Terminal jobs are left
+// as they are (204 anyway — cancel is idempotent).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	s.mu.Lock()
+	state := job.State
+	cancel := job.cancel
+	s.mu.Unlock()
+	switch state {
+	case StateQueued:
+		// The worker skips jobs already terminal when it dequeues them.
+		s.finishJob(job, StateCanceled, "canceled by client")
+	case StateRunning:
+		if cancel != nil {
+			cancel() // the worker observes ctx and finishes the job
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleEvents streams the job's events as SSE: every event is a JSON
+// ProgressEvent (or terminal {"kind":"done"|"error"|"canceled"|
+// "shutdown"}) in a data: line. The replay buffer means a subscriber
+// attaching after completion still sees the whole (bounded) history.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := job.stream.subscribe()
+	defer cancel()
+	for _, data := range replay {
+		fmt.Fprintf(w, "data: %s\n\n", data)
+	}
+	flusher.Flush()
+	if live == nil {
+		return // stream already closed; replay ended with the terminal event
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case data, ok := <-live:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}
+
+// --- job execution ---
+
+// terminalEvent encodes the end-of-stream event.
+func terminalEvent(kind, msg string) []byte {
+	ev := map[string]string{"kind": kind}
+	if msg != "" {
+		ev["error"] = msg
+	}
+	data, _ := json.Marshal(ev)
+	return data
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one queued job to a terminal state.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	s.mu.Lock()
+	if job.State != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	job.cancel = cancel
+	s.mu.Unlock()
+
+	opts := job.Spec.Options()
+	opts.Context = ctx
+	opts.Progress = newSink(job.stream, s.minGap)
+	var buf bytes.Buffer
+	s.simulations.Add(1)
+	err := experiment.Run(job.Spec.Runner, opts, &buf)
+	switch {
+	case err == nil:
+		// A failed cache write only costs a future re-simulation; the
+		// run itself succeeded, so the job still completes as done.
+		_ = s.cache.Put(job.Spec.Key(s.codeVersion), job.Spec, buf.Bytes())
+		s.mu.Lock()
+		job.output = buf.Bytes()
+		job.State = StateDone
+		job.cancel = nil
+		s.mu.Unlock()
+		job.stream.close(terminalEvent("done", ""))
+	case errors.Is(err, context.Canceled) && s.closing.Load():
+		s.finishJob(job, StateCanceled, "service shut down before completion")
+	case errors.Is(err, context.Canceled):
+		s.finishJob(job, StateCanceled, "canceled by client")
+	default:
+		s.finishJob(job, StateFailed, err.Error())
+	}
+}
+
+// finishJob moves a job to a terminal state and closes its stream. The
+// terminal SSE kind matches the state ("shutdown" when the service, not
+// the client, ended the run).
+func (s *Server) finishJob(job *Job, state, msg string) {
+	s.mu.Lock()
+	if job.State == StateDone || job.State == StateFailed || job.State == StateCanceled {
+		s.mu.Unlock()
+		return
+	}
+	job.State = state
+	job.Error = msg
+	job.cancel = nil
+	s.mu.Unlock()
+	kind := "error"
+	if state == StateCanceled {
+		kind = "canceled"
+		if s.closing.Load() {
+			kind = "shutdown"
+		}
+	}
+	job.stream.close(terminalEvent(kind, msg))
+}
+
+// --- shutdown ---
+
+// Shutdown drains the service: new submissions are refused, queued jobs
+// are canceled, and running jobs get until ctx's deadline to finish on
+// their own before their contexts are canceled (runners stop at the
+// next cell boundary). Every open SSE stream receives a terminal event,
+// and the cache index is persisted last.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	close(s.quit)
+	// Workers race s.quit against the queue; drain whatever they leave.
+	for {
+		select {
+		case job := <-s.queue:
+			s.finishJob(job, StateCanceled, "service shut down before start")
+			continue
+		default:
+		}
+		break
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.stop() // deadline passed: interrupt in-flight runs
+		<-done
+		err = ctx.Err()
+	}
+	s.stop()
+	// Workers are gone; any job still non-terminal (queued jobs a worker
+	// dequeued but skipped, etc.) gets its terminal event now.
+	s.mu.Lock()
+	var open []*Job
+	for _, job := range s.jobs {
+		if job.State == StateQueued || job.State == StateRunning {
+			open = append(open, job)
+		}
+	}
+	s.mu.Unlock()
+	for _, job := range open {
+		s.finishJob(job, StateCanceled, "service shut down before completion")
+	}
+	if serr := s.cache.SaveIndex(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"tcptrim/internal/experiment"
+)
+
+// sink adapts a run's stream to the experiment.Progress interface. It
+// runs on the simulation's critical path (sampler Records, collector
+// completions fire it), so it must stay cheap: high-frequency event
+// kinds are throttled per metric to one event per minGap of wall-clock
+// time (the first of each metric always passes), and publishing into
+// the stream never blocks. Milestone kinds (cell, fct, retrans) always
+// pass — they are rare and each one matters.
+//
+// The sink only observes; it never touches simulation state, which is
+// what keeps an armed hook from perturbing results.
+type sink struct {
+	st     *stream
+	minGap time.Duration
+
+	mu   sync.Mutex
+	last map[string]time.Time
+}
+
+func newSink(st *stream, minGap time.Duration) *sink {
+	return &sink{st: st, minGap: minGap, last: map[string]time.Time{}}
+}
+
+// Publish implements experiment.Progress.
+func (s *sink) Publish(ev experiment.ProgressEvent) {
+	switch ev.Kind {
+	case "sample", "responses":
+		if !s.pass(ev.Kind + "/" + ev.Name) {
+			return
+		}
+	}
+	s.emit(ev)
+}
+
+// pass claims a throttle slot for key.
+func (s *sink) pass(key string) bool {
+	if s.minGap <= 0 {
+		return true
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last, ok := s.last[key]; ok && now.Sub(last) < s.minGap {
+		return false
+	}
+	s.last[key] = now
+	return true
+}
+
+// emit encodes and publishes one event; encoding failures are dropped
+// (an observability path must never fail the run).
+func (s *sink) emit(ev experiment.ProgressEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	s.st.publish(data)
+}
