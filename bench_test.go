@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"tcptrim/internal/cellcache"
 	"tcptrim/internal/experiment"
 )
 
@@ -282,6 +283,55 @@ func BenchmarkAQMSweep(b *testing.B) {
 		for _, row := range res.Rows {
 			b.ReportMetric(ms(row.MeanFCT), "TRIM-"+row.Discipline+"-FCT-ms")
 		}
+	}
+}
+
+// BenchmarkAQMSweepSmokeCold regenerates the aqmsweep CI slice against
+// an empty cell cache each iteration: every cell simulates. Pairs with
+// BenchmarkAQMSweepSmokeWarm; the ns/op ratio is the end-to-end warm
+// speedup of the cell-memoization layer.
+func BenchmarkAQMSweepSmokeCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		store := cellcache.NewMemory()
+		_, err := experiment.RunAQMSweep(
+			[]experiment.Protocol{experiment.ProtoTRIM},
+			experiment.DefaultAQMDisciplines,
+			experiment.AQMSweepConcurrency[:1],
+			experiment.Options{Seed: 1, Cache: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(store.Misses()), "cells-simulated")
+	}
+}
+
+// BenchmarkAQMSweepSmokeWarm regenerates the same slice against a
+// pre-filled cell cache: every cell is reassembled from the store and
+// nothing simulates.
+func BenchmarkAQMSweepSmokeWarm(b *testing.B) {
+	store := cellcache.NewMemory()
+	if _, err := experiment.RunAQMSweep(
+		[]experiment.Protocol{experiment.ProtoTRIM},
+		experiment.DefaultAQMDisciplines,
+		experiment.AQMSweepConcurrency[:1],
+		experiment.Options{Seed: 1, Cache: store}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.ResetStats()
+		_, err := experiment.RunAQMSweep(
+			[]experiment.Protocol{experiment.ProtoTRIM},
+			experiment.DefaultAQMDisciplines,
+			experiment.AQMSweepConcurrency[:1],
+			experiment.Options{Seed: 1, Cache: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if store.Misses() != 0 {
+			b.Fatalf("warm iteration simulated %d cells", store.Misses())
+		}
+		b.ReportMetric(float64(store.Hits()), "cells-cached")
 	}
 }
 

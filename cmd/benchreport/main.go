@@ -9,6 +9,12 @@
 //	benchreport -out BENCH_1.json
 //	benchreport -bench 'Fig8LargeScale' -count 3 -baseline before.txt
 //	benchreport -parse after.txt -baseline before.txt -out BENCH_1.json
+//	benchreport -baseline BENCH_5.json -gate 10
+//
+// With -gate N the command becomes a regression check: after writing the
+// report it exits nonzero if any benchmark's ns/op regressed more than
+// N percent against the baseline, printing one line per comparison so
+// the offending benchmark is visible in CI logs.
 package main
 
 import (
@@ -78,6 +84,7 @@ func run(args []string) error {
 		baseline  = fs.String("baseline", "", "baseline file: raw go-test bench output or a previous report")
 		parse     = fs.String("parse", "", "parse this raw bench output instead of running go test")
 		rawOut    = fs.String("raw", "", "also save the raw go test output here")
+		gate      = fs.Float64("gate", 0, "fail (exit nonzero) if any benchmark's ns/op regressed more than this percent vs -baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +130,9 @@ func run(args []string) error {
 			return fmt.Errorf("baseline: %w", err)
 		}
 	}
+	if *gate > 0 && base == nil {
+		return fmt.Errorf("-gate requires -baseline")
+	}
 
 	report := Report{Package: *pkg, BenchRegex: *bench, BenchTime: *benchtime}
 	names := make([]string, 0, len(current))
@@ -153,6 +163,37 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	if *gate > 0 {
+		return checkGate(report, *gate)
+	}
+	return nil
+}
+
+// checkGate compares every benchmark that has a baseline against the
+// allowed ns/op regression and reports the verdict per benchmark.
+// Benchmarks without a baseline entry (new ones) pass with a note; a
+// missing current measurement for a baseline entry cannot happen here
+// since the report is built from the current run.
+func checkGate(report Report, gatePct float64) error {
+	var failed []string
+	for _, e := range report.Benchmarks {
+		if e.Delta == nil {
+			fmt.Fprintf(os.Stderr, "gate: %-20s no baseline, skipped\n", e.Name)
+			continue
+		}
+		verdict := "ok"
+		if e.Delta.NsPct > gatePct {
+			verdict = "REGRESSED"
+			failed = append(failed, e.Name)
+		}
+		fmt.Fprintf(os.Stderr, "gate: %-20s %12.0f ns/op vs %12.0f baseline  %+6.1f%%  %s\n",
+			e.Name, e.NsPerOp, e.Baseline.NsPerOp, e.Delta.NsPct, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("gate: %d benchmark(s) regressed more than %.1f%% ns/op vs baseline: %s",
+			len(failed), gatePct, strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "gate: all benchmarks within %.1f%% of baseline\n", gatePct)
 	return nil
 }
 

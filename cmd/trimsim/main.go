@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"tcptrim/internal/aqm"
+	"tcptrim/internal/cellcache"
 	"tcptrim/internal/experiment"
 	"tcptrim/internal/hybrid"
 	"tcptrim/internal/tcp"
@@ -46,6 +47,9 @@ func run(args []string) error {
 			"results are byte-identical at any count; more than GOMAXPROCS only adds overhead)")
 		fidSel = fs.String("fidelity", "", "connection simulation fidelity for fig4/fig6/fig8/fig8million ("+
 			strings.Join(hybrid.Names(), ", ")+"; default: packet, except fig8million which defaults to hybrid)")
+		cacheDir = fs.String("cache", "", "cell-result cache directory: sweep cells already computed "+
+			"(by any prior trimsim or trimsvc run at this code version) are reassembled instead of re-simulated")
+		cacheForce = fs.Bool("cache-force", false, "allow -cache without a VCS-stamped build (unsound across differing dev builds)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +65,20 @@ func run(args []string) error {
 	// every option up front, so a typo fails before any simulation runs.
 	if err := opts.Validate(); err != nil {
 		return err
+	}
+	if *cacheDir != "" {
+		// Same refusal rule as trimsvc -cache: a persistent store keyed
+		// by an unstamped "dev" version would mix results from differing
+		// builds. `go build` in a committed tree stamps the revision;
+		// `go run` and dirty trees need -cache-force.
+		if err := cellcache.ValidatePersistent(cellcache.CodeVersion(), *cacheForce); err != nil {
+			return err
+		}
+		store, err := cellcache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = store
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

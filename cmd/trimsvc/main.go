@@ -15,7 +15,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -25,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"tcptrim/internal/cellcache"
 	"tcptrim/internal/service"
 )
 
@@ -41,14 +41,16 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS/2)")
 	cacheDir := fs.String("cache", "", "persist results under this directory (default: in-memory only)")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight runs")
-	force := fs.Bool("force-cache", false, "allow -cache without a VCS-stamped build (unsound across differing dev builds)")
+	force := fs.Bool("cache-force", false, "allow -cache without a VCS-stamped build (unsound across differing dev builds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	version := service.CodeVersion()
-	if *cacheDir != "" && version == "dev" && !*force {
-		return errors.New("-cache needs a VCS-stamped build (the key includes the code version); use -force-cache to override")
+	if *cacheDir != "" {
+		if err := cellcache.ValidatePersistent(version, *force); err != nil {
+			return err
+		}
 	}
 	svc, err := service.New(service.Config{Workers: *workers, CacheDir: *cacheDir})
 	if err != nil {

@@ -143,9 +143,21 @@ func RunAQMSweep(protos []Protocol, discs []AQMDiscipline, concs []int, opts Opt
 		if err := opts.interrupted(); err != nil {
 			return nil, err
 		}
-		row, err := runAQMSweepCell(cells[i].proto, cells[i].disc, cells[i].conc, seed)
+		c := cells[i]
+		spec := struct {
+			Family      string   `json:"family"`
+			Protocol    Protocol `json:"protocol"`
+			Discipline  string   `json:"discipline"`
+			Concurrency int      `json:"concurrency"`
+			Seed        int64    `json:"seed"`
+		}{"aqmsweep", c.proto, c.disc.Name, c.conc, seed}
+		row, _, err := cachedCell(opts, spec, func() (*AQMSweepRow, error) {
+			return runAQMSweepCell(c.proto, c.disc, c.conc, seed)
+		})
 		if err == nil {
-			ctr.finished(fmt.Sprintf("%s/%s/%d-conns", cells[i].proto, cells[i].disc.Name, cells[i].conc))
+			// Fires on cache hits too, so a warm run streams the same
+			// cell-milestone sequence a cold run would.
+			ctr.finished(fmt.Sprintf("%s/%s/%d-conns", c.proto, c.disc.Name, c.conc))
 		}
 		return row, err
 	})

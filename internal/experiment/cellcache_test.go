@@ -1,0 +1,376 @@
+package experiment
+
+// Cache-correctness proofs for the cell-grained memoization layer:
+// every cached sweep must render byte-identical output with the cache
+// off, cold, and warm (the warm run additionally at a different shard
+// count and with a Progress hook armed, pinning that neither enters the
+// key); a one-axis change must re-simulate only the changed cells; and
+// key derivation must be sensitive to every option that shapes output
+// (seed, aqm, recovery, fidelity, reps) while normalized options
+// (fidelity "" vs explicit "packet") share cells.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"tcptrim/internal/aqm"
+	"tcptrim/internal/cellcache"
+	"tcptrim/internal/tcp"
+)
+
+// cacheRenderers covers every cached sweep family at a CI-sized slice.
+var cacheRenderers = []struct {
+	name   string
+	render func(opts Options) ([]byte, error)
+}{
+	{"aqmsweep", func(opts Options) ([]byte, error) {
+		res, err := RunAQMSweep([]Protocol{ProtoTRIM}, DefaultAQMDisciplines,
+			AQMSweepConcurrency[:1], opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	}},
+	{"recoverysweep", func(opts Options) ([]byte, error) {
+		res, err := RunRecoverySweep(tcp.RecoveryNames(), []string{"droptail"},
+			[]FaultIntensity{DefaultFaultIntensities[2]}, []int{aqm.TinyBufferPackets}, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	}},
+	{"resilience", func(opts Options) ([]byte, error) {
+		res, err := RunResilience([]Protocol{ProtoTRIM}, DefaultFaultIntensities[:2], opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	}},
+	{"fig4", func(opts Options) ([]byte, error) {
+		res, err := RunImpairment(ProtoTCP, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := res.WriteTables(&buf); err != nil {
+			return nil, err
+		}
+		// The rendered table omits the traced series; fold their points in
+		// so the cached-series round trip is pinned to the float.
+		fmt.Fprintf(&buf, "cwnd=%v goodput=%v total=%v\n",
+			res.TracedCwnd.Points(), res.TracedThroughput.Points(), res.TotalThroughput.Points())
+		return buf.Bytes(), nil
+	}},
+	{"fig5", func(opts Options) ([]byte, error) {
+		res, err := RunConcurrency(ProtoTCP, []int{2}, 4, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	}},
+	{"fig6", func(opts Options) ([]byte, error) {
+		res, err := RunImpairment(ProtoTRIM, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	}},
+	{"fig8", func(opts Options) ([]byte, error) {
+		opts.Reps = 1
+		res, err := RunLargeScale([]Protocol{ProtoTRIM}, []int{3}, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	}},
+	{"table1", func(opts Options) ([]byte, error) {
+		res, err := RunFatTree([]Protocol{ProtoTRIM}, []int{4}, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		err = res.WriteTables(&buf)
+		return buf.Bytes(), err
+	}},
+}
+
+// TestCacheColdWarmByteIdentity is the central soundness pin: cache off,
+// cache cold (filling), and cache warm (every cell a hit, different
+// shard count, Progress hook armed) must render the same bytes. A zero
+// warm-run miss count additionally proves the keys are independent of
+// shard count and observation, and that the warm output really came
+// from the store rather than a re-simulation.
+func TestCacheColdWarmByteIdentity(t *testing.T) {
+	for _, tc := range cacheRenderers {
+		t.Run(tc.name, func(t *testing.T) {
+			off, err := tc.render(Options{Seed: 7})
+			if err != nil {
+				t.Fatalf("cache off: %v", err)
+			}
+			store := cellcache.NewMemory()
+			cold, err := tc.render(Options{Seed: 7, Cache: store})
+			if err != nil {
+				t.Fatalf("cache cold: %v", err)
+			}
+			if !bytes.Equal(off, cold) {
+				t.Errorf("cold cached run diverges from uncached run:\n-- off --\n%s\n-- cold --\n%s", off, cold)
+			}
+			if store.Misses() == 0 {
+				t.Fatal("cold run hit an empty store — Get was never consulted?")
+			}
+			store.ResetStats()
+			warm, err := tc.render(Options{Seed: 7, Cache: store, Shards: 4, Progress: &eventLog{}})
+			if err != nil {
+				t.Fatalf("cache warm: %v", err)
+			}
+			if !bytes.Equal(off, warm) {
+				t.Errorf("warm cached run diverges from uncached run:\n-- off --\n%s\n-- warm --\n%s", off, warm)
+			}
+			if m := store.Misses(); m != 0 {
+				t.Errorf("warm run re-simulated %d cells (keys depend on shards or Progress?)", m)
+			}
+			if store.Hits() == 0 {
+				t.Error("warm run recorded no cache hits")
+			}
+		})
+	}
+}
+
+// TestCellKeySensitivity drives each output-shaping option through a
+// runner that honors it: after a cold fill, re-running with the option
+// changed must miss (re-simulate), and re-running with an equivalent
+// spelling (normalized options) must stay fully warm.
+func TestCellKeySensitivity(t *testing.T) {
+	resilience := func(opts Options) error {
+		_, err := RunResilience([]Protocol{ProtoTRIM}, DefaultFaultIntensities[:1], opts)
+		return err
+	}
+	largescale := func(opts Options) error {
+		if opts.Reps == 0 {
+			opts.Reps = 1
+		}
+		_, err := RunLargeScale([]Protocol{ProtoTRIM}, []int{2}, opts)
+		return err
+	}
+	aqmsweep := func(opts Options) error {
+		_, err := RunAQMSweep([]Protocol{ProtoTRIM}, DefaultAQMDisciplines[:1],
+			AQMSweepConcurrency[:1], opts)
+		return err
+	}
+	cases := []struct {
+		name     string
+		run      func(Options) error
+		base     Options
+		changed  Options
+		wantMiss bool
+	}{
+		{"seed", aqmsweep, Options{Seed: 1}, Options{Seed: 2}, true},
+		{"aqm", resilience, Options{Seed: 1}, Options{Seed: 1, AQM: "codel"}, true},
+		{"recovery", resilience, Options{Seed: 1}, Options{Seed: 1, Recovery: "rack-tlp"}, true},
+		{"fidelity", largescale, Options{Seed: 1}, Options{Seed: 1, Fidelity: "hybrid"}, true},
+		{"reps", largescale, Options{Seed: 1, Reps: 1}, Options{Seed: 1, Reps: 2}, true},
+		// The default fidelity IS packet: an explicit spelling must hit
+		// the same cells (the key carries the parsed, normalized name).
+		{"fidelity-normalized", largescale, Options{Seed: 1}, Options{Seed: 1, Fidelity: "packet"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store := cellcache.NewMemory()
+			tc.base.Cache = store
+			tc.changed.Cache = store
+			if err := tc.run(tc.base); err != nil {
+				t.Fatalf("base run: %v", err)
+			}
+			store.ResetStats()
+			if err := tc.run(tc.changed); err != nil {
+				t.Fatalf("changed run: %v", err)
+			}
+			if tc.wantMiss && store.Misses() == 0 {
+				t.Errorf("changing %s produced no cache miss — the option is missing from the cell key", tc.name)
+			}
+			if !tc.wantMiss && store.Misses() != 0 {
+				t.Errorf("equivalent option spelling re-simulated %d cells, want full warm hit", store.Misses())
+			}
+		})
+	}
+}
+
+// TestAQMSweepPartialWarm is the one-axis-changed acceptance pin: after
+// a cold aqmsweep-smoke fill, swapping a single discipline on the axis
+// must simulate exactly the new cell, reassemble the other three from
+// cache, and render byte-identically to an uncached run of the changed
+// axis.
+func TestAQMSweepPartialWarm(t *testing.T) {
+	render := func(discs []AQMDiscipline, opts Options) []byte {
+		t.Helper()
+		res, err := RunAQMSweep([]Protocol{ProtoTRIM}, discs, AQMSweepConcurrency[:1], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteTables(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	store := cellcache.NewMemory()
+	render(DefaultAQMDisciplines, Options{Seed: 7, Cache: store})
+	if got, want := store.Misses(), int64(len(DefaultAQMDisciplines)); got != want {
+		t.Fatalf("cold run simulated %d cells, want %d", got, want)
+	}
+
+	// Flip one discipline. The axis contract keys cells by discipline
+	// name, so the variant needs a distinct name — which any in-tree
+	// axis change would have.
+	flipped := append([]AQMDiscipline(nil), DefaultAQMDisciplines...)
+	flipped[1] = AQMDiscipline{
+		Name: "red-noecn",
+		Config: func(seed int64) aqm.Config {
+			return aqm.Config{Kind: aqm.RED, RED: aqm.REDConfig{Seed: seed}}
+		},
+	}
+
+	store.ResetStats()
+	warm := render(flipped, Options{Seed: 7, Cache: store})
+	if store.Misses() != 1 {
+		t.Errorf("one-axis-changed warm run simulated %d cells, want exactly the 1 changed cell", store.Misses())
+	}
+	if got, want := store.Hits(), int64(len(DefaultAQMDisciplines)-1); got != want {
+		t.Errorf("warm run reassembled %d cells from cache, want %d", got, want)
+	}
+
+	cold := render(flipped, Options{Seed: 7})
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("partially-warm table diverges from uncached run:\n-- warm --\n%s\n-- cold --\n%s", warm, cold)
+	}
+}
+
+// eventLog is a Progress hook that retains every event (Publish runs on
+// parallel trial workers, hence the lock).
+type eventLog struct {
+	mu     sync.Mutex
+	events []ProgressEvent
+}
+
+func (l *eventLog) Publish(ev ProgressEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// kind returns the retained events of one kind, in arrival order.
+func (l *eventLog) kind(k string) []ProgressEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ProgressEvent
+	for _, ev := range l.events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestWarmRunReplaysCellMilestones pins the SSE contract: a warm sweep
+// streams the same cell-completion milestones a cold run does (names and
+// totals; arrival order is worker-dependent on both paths, so the
+// comparison is order-insensitive).
+func TestWarmRunReplaysCellMilestones(t *testing.T) {
+	run := func(opts Options) *eventLog {
+		t.Helper()
+		log := &eventLog{}
+		opts.Progress = log
+		if _, err := RunAQMSweep([]Protocol{ProtoTRIM}, DefaultAQMDisciplines,
+			AQMSweepConcurrency[:1], opts); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	milestones := func(log *eventLog) []string {
+		var out []string
+		for _, ev := range log.kind("cell") {
+			out = append(out, fmt.Sprintf("%s total=%d", ev.Name, ev.Total))
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	store := cellcache.NewMemory()
+	cold := milestones(run(Options{Seed: 7, Cache: store}))
+	store.ResetStats()
+	warm := milestones(run(Options{Seed: 7, Cache: store}))
+	if store.Misses() != 0 {
+		t.Fatalf("warm run re-simulated %d cells", store.Misses())
+	}
+	if len(cold) == 0 {
+		t.Fatal("cold run published no cell milestones")
+	}
+	if fmt.Sprint(cold) != fmt.Sprint(warm) {
+		t.Errorf("warm milestones differ from cold:\ncold: %v\nwarm: %v", cold, warm)
+	}
+}
+
+// TestWarmImpairmentReplaysSeries pins the fig4/fig6 replay path: the
+// retained series and completion summaries stream identically on warm
+// runs, while cold-only samplers (queue depth) are declared absent.
+func TestWarmImpairmentReplaysSeries(t *testing.T) {
+	run := func(opts Options) *eventLog {
+		t.Helper()
+		log := &eventLog{}
+		opts.Progress = log
+		if _, err := RunImpairment(ProtoTRIM, opts); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	samplesOf := func(log *eventLog, name string) []string {
+		var out []string
+		for _, ev := range log.kind("sample") {
+			if ev.Name == name {
+				out = append(out, fmt.Sprintf("%v@%v", ev.Value, ev.At))
+			}
+		}
+		return out
+	}
+
+	store := cellcache.NewMemory()
+	cold := run(Options{Seed: 7, Cache: store})
+	store.ResetStats()
+	warm := run(Options{Seed: 7, Cache: store})
+	if store.Misses() != 0 {
+		t.Fatalf("warm run re-simulated (%d misses)", store.Misses())
+	}
+	for _, name := range []string{"traced-goodput-mbps", "total-goodput-mbps", "cwnd-segments"} {
+		c, w := samplesOf(cold, name), samplesOf(warm, name)
+		if len(c) == 0 {
+			t.Fatalf("cold run streamed no %s samples", name)
+		}
+		if fmt.Sprint(c) != fmt.Sprint(w) {
+			t.Errorf("%s replay differs (cold %d samples, warm %d)", name, len(c), len(w))
+		}
+	}
+	if got := samplesOf(warm, "queue-depth-pkts"); len(got) != 0 {
+		t.Errorf("warm run synthesized %d queue-depth samples; the result does not retain that series", len(got))
+	}
+	for _, kind := range []string{"retrans", "fct"} {
+		if c, w := len(cold.kind(kind)), len(warm.kind(kind)); c != 1 || w != 1 {
+			t.Errorf("%s events: cold %d, warm %d, want 1 and 1", kind, c, w)
+		}
+	}
+}

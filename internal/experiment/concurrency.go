@@ -71,9 +71,19 @@ func RunConcurrency(proto Protocol, lptCounts []int, maxSPT int, opts Options) (
 		if err := opts.interrupted(); err != nil {
 			return nil, err
 		}
-		cell, err := runConcurrencyCell(proto, keys[i].lpts, keys[i].spts, opts.seed(), opts.shards())
+		k := keys[i]
+		spec := struct {
+			Family   string   `json:"family"`
+			Protocol Protocol `json:"protocol"`
+			LPTs     int      `json:"lpts"`
+			SPTs     int      `json:"spts"`
+			Seed     int64    `json:"seed"`
+		}{"concurrency", proto, k.lpts, k.spts, opts.seed()}
+		cell, _, err := cachedCell(opts, spec, func() (*ConcurrencyCell, error) {
+			return runConcurrencyCell(proto, k.lpts, k.spts, opts.seed(), opts.shards())
+		})
 		if err == nil {
-			ctr.finished(fmt.Sprintf("%d-lpts/%d-spts", keys[i].lpts, keys[i].spts))
+			ctr.finished(fmt.Sprintf("%d-lpts/%d-spts", k.lpts, k.spts))
 		}
 		return cell, err
 	})

@@ -18,6 +18,7 @@ import (
 
 	"tcptrim/internal/aqm"
 	"tcptrim/internal/cc"
+	"tcptrim/internal/cellcache"
 	"tcptrim/internal/core"
 	"tcptrim/internal/hybrid"
 	"tcptrim/internal/metrics"
@@ -146,6 +147,17 @@ type Options struct {
 	// active train; the differential tests pin that small-scale outputs
 	// stay byte-identical across fidelities.
 	Fidelity string
+	// Cache optionally memoizes individual sweep cells in a
+	// content-addressed store. Runners that support cell decomposition
+	// (the sweeps and figure matrices — aqmsweep, recoverysweep,
+	// resilience, fig4/fig5/fig6/fig7/fig8, fig12/table1 and their smoke
+	// slices) key each cell by its canonical machine-independent spec
+	// (family, coordinates, seed split) plus the code version, and answer
+	// warm cells from the store without simulating. Results are
+	// byte-identical with the cache off, cold, or warm: cells are pure
+	// functions of their spec, and JSON round-trips every row exactly.
+	// nil disables memoization.
+	Cache *cellcache.Store
 	// Progress optionally receives live observability events (samples,
 	// completed responses, finished cells — see ProgressEvent) while the
 	// run simulates. Hooks fire only from code paths that execute

@@ -82,12 +82,25 @@ func RunFatTree(protos []Protocol, podCounts []int, opts Options) (*FatTreeResul
 		}
 	}
 	out := &FatTreeResult{}
+	ctr := opts.cells(len(podCounts) * len(protos))
 	for _, pods := range podCounts {
 		for _, proto := range protos {
-			row, err := runFatTreeCell(proto, pods, opts.seed(), opts.shards())
+			if err := opts.interrupted(); err != nil {
+				return nil, err
+			}
+			spec := struct {
+				Family   string   `json:"family"`
+				Protocol Protocol `json:"protocol"`
+				Pods     int      `json:"pods"`
+				Seed     int64    `json:"seed"`
+			}{"fattree", proto, pods, opts.seed()}
+			row, _, err := cachedCell(opts, spec, func() (*FatTreeRow, error) {
+				return runFatTreeCell(proto, pods, opts.seed(), opts.shards())
+			})
 			if err != nil {
 				return nil, err
 			}
+			ctr.finished(fmt.Sprintf("%s/%d-pods", proto, pods))
 			out.Rows = append(out.Rows, *row)
 		}
 	}

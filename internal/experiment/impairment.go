@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"tcptrim/internal/httpapp"
 	"tcptrim/internal/hybrid"
 	"tcptrim/internal/metrics"
 	"tcptrim/internal/netsim"
@@ -88,15 +89,72 @@ func RunImpairment(proto Protocol, opts Options) (*ImpairmentResult, error) {
 	return runImpairmentCustom(string(proto), func() tcp.CongestionControl { return MustCC(proto) }, opts)
 }
 
+// impairmentSnapshot is the cached payload of one fig4/fig6 run: the
+// result (series included — Series round-trips exactly through JSON)
+// plus the summary events a cold run publishes at completion, so a warm
+// run can replay them to SSE watchers.
+type impairmentSnapshot struct {
+	Result  *ImpairmentResult        `json:"result"`
+	Retrans httpapp.RetransBreakdown `json:"retrans"`
+	FCT     *metrics.Snapshot        `json:"fct"`
+}
+
 // runImpairmentCustom is RunImpairment for an arbitrary policy
-// constructor (used by the extension experiments).
+// constructor (used by the extension experiments). The whole scenario is
+// one cache cell: there is no axis to decompose, but a warm re-run (say,
+// an aqm sweep over fig6 driven by the service) still skips the
+// simulation entirely.
 func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts Options) (*ImpairmentResult, error) {
-	proto := Protocol(label)
-	rng := sim.NewRand(opts.seed())
 	fid, err := opts.fidelity()
 	if err != nil {
 		return nil, err
 	}
+	spec := struct {
+		Family   string `json:"family"`
+		Label    string `json:"label"`
+		AQM      string `json:"aqm,omitempty"`
+		Fidelity string `json:"fidelity"`
+		Seed     int64  `json:"seed"`
+	}{"impairment", label, opts.AQM, string(fid), opts.seed()}
+	snap, computed, err := cachedCell(opts, spec, func() (*impairmentSnapshot, error) {
+		return runImpairmentSim(label, newCC, fid, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := snap.Result
+	if !computed && opts.Progress != nil {
+		// Replay for watchers what a cold run streamed live: the retained
+		// series (whole series in sequence rather than interleaved by
+		// timestamp — consumers demultiplex on Name) and the completion
+		// summaries. Samplers whose output the result does not retain
+		// (queue depth, running response count) stream on cold runs only.
+		opts.replaySeries("traced-goodput-mbps", res.TracedThroughput)
+		opts.replaySeries("total-goodput-mbps", res.TotalThroughput)
+		opts.replaySeries("cwnd-segments", res.TracedCwnd)
+		rb := snap.Retrans
+		opts.publish(ProgressEvent{Kind: "retrans", Name: label, Retrans: &rb})
+		opts.publish(ProgressEvent{Kind: "fct", Name: label, Dist: snap.FCT})
+	}
+	// CSV export runs on cold and warm paths alike: CSVDir is not part of
+	// the cell key — it changes which files are written, never the result.
+	prefix := "impairment-" + label
+	if err := saveSeriesCSV(opts, prefix+"-cwnd", "segments", res.TracedCwnd); err != nil {
+		return nil, err
+	}
+	if err := saveSeriesCSV(opts, prefix+"-goodput", "mbps", res.TracedThroughput); err != nil {
+		return nil, err
+	}
+	if err := saveSeriesCSV(opts, prefix+"-total-goodput", "mbps", res.TotalThroughput); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runImpairmentSim simulates the scenario (the cache-miss path).
+func runImpairmentSim(label string, newCC func() tcp.CongestionControl, fid hybrid.Fidelity, opts Options) (*impairmentSnapshot, error) {
+	proto := Protocol(label)
+	rng := sim.NewRand(opts.seed())
 	env := newSimEnv(opts.shards())
 	sched := env.sched
 	link := topology.DefaultStarLink(impairmentBuffer)
@@ -214,23 +272,17 @@ func runImpairmentCustom(label string, newCC func() tcp.CongestionControl, opts 
 	// Convert byte rates to Mbps for reporting.
 	scaleSeries(res.TracedThroughput, 1e-6)
 	scaleSeries(res.TotalThroughput, 1e-6)
+	snap := &impairmentSnapshot{
+		Result:  res,
+		Retrans: fleet.Retransmissions(),
+		FCT:     fleet.Collector().CompletionTimes(nil).Snapshot(),
+	}
 	if opts.Progress != nil {
-		rb := fleet.Retransmissions()
+		rb := snap.Retrans
 		opts.publish(ProgressEvent{Kind: "retrans", Name: label, Retrans: &rb})
-		opts.publish(ProgressEvent{Kind: "fct", Name: label,
-			Dist: fleet.Collector().CompletionTimes(nil).Snapshot()})
+		opts.publish(ProgressEvent{Kind: "fct", Name: label, Dist: snap.FCT})
 	}
-	prefix := "impairment-" + label
-	if err := saveSeriesCSV(opts, prefix+"-cwnd", "segments", res.TracedCwnd); err != nil {
-		return nil, err
-	}
-	if err := saveSeriesCSV(opts, prefix+"-goodput", "mbps", res.TracedThroughput); err != nil {
-		return nil, err
-	}
-	if err := saveSeriesCSV(opts, prefix+"-total-goodput", "mbps", res.TotalThroughput); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return snap, nil
 }
 
 func scaleSeries(s *metrics.Series, f float64) {

@@ -96,9 +96,23 @@ func RunLargeScale(protos []Protocol, torCounts []int, opts Options) (*LargeScal
 		if err := opts.interrupted(); err != nil {
 			return nil, err
 		}
-		row, err := runLargeScaleCell(cells[i].proto, cells[i].tors, reps, opts.seed(), opts.shards(), fid)
+		c := cells[i]
+		// Reps and fidelity shape the cell's output, so both are part of
+		// the key; fidelity is keyed by its parsed, normalized name so an
+		// explicit "packet" hits the same cells as the default.
+		spec := struct {
+			Family   string   `json:"family"`
+			Protocol Protocol `json:"protocol"`
+			ToRs     int      `json:"tors"`
+			Reps     int      `json:"reps"`
+			Fidelity string   `json:"fidelity"`
+			Seed     int64    `json:"seed"`
+		}{"largescale", c.proto, c.tors, reps, string(fid), opts.seed()}
+		row, _, err := cachedCell(opts, spec, func() (*LargeScaleRow, error) {
+			return runLargeScaleCell(c.proto, c.tors, reps, opts.seed(), opts.shards(), fid)
+		})
 		if err == nil {
-			ctr.finished(fmt.Sprintf("%s/%d-tors", cells[i].proto, cells[i].tors))
+			ctr.finished(fmt.Sprintf("%s/%d-tors", c.proto, c.tors))
 		}
 		return row, err
 	})

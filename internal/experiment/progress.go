@@ -91,6 +91,21 @@ func (o Options) tapSeries(name string, scale float64, s *metrics.Series) {
 	})
 }
 
+// replaySeries publishes every point of an already-recorded series as
+// "sample" events — the warm-path counterpart of tapSeries, used when a
+// cell cache hit skips the simulation that would have streamed them
+// live. Cached series already carry their reporting units, so no scale
+// applies. No-op without an armed hook.
+func (o Options) replaySeries(name string, s *metrics.Series) {
+	if o.Progress == nil || s == nil {
+		return
+	}
+	for _, pt := range s.Points() {
+		o.Progress.Publish(ProgressEvent{Kind: "sample", Name: name,
+			At: pt.At.Seconds(), Value: pt.Value})
+	}
+}
+
 // tapResponses streams a running completed-response count from coll as
 // "responses" events. Completions fire on shard goroutines during
 // parallel windows, hence the atomic counter. No-op without a hook.

@@ -148,7 +148,17 @@ func RunRecoverySweep(policies, aqms []string, intensities []FaultIntensity, buf
 			return nil, err
 		}
 		c := cells[i]
-		row, err := runRecoveryCell(c.policy, c.aqm, c.fi, c.buffer, seed, opts.shards())
+		spec := struct {
+			Family    string         `json:"family"`
+			Policy    string         `json:"policy"`
+			AQM       string         `json:"aqm"`
+			Intensity FaultIntensity `json:"intensity"`
+			Buffer    int            `json:"buffer"`
+			Seed      int64          `json:"seed"`
+		}{"recoverysweep", c.policy, c.aqm, c.fi, c.buffer, seed}
+		row, _, err := cachedCell(opts, spec, func() (*RecoverySweepRow, error) {
+			return runRecoveryCell(c.policy, c.aqm, c.fi, c.buffer, seed, opts.shards())
+		})
 		if err == nil {
 			ctr.finished(fmt.Sprintf("%s/%s/%s/%d-pkts", c.policy, c.aqm, c.fi.Name, c.buffer))
 		}

@@ -157,9 +157,29 @@ func RunResilience(protos []Protocol, intensities []FaultIntensity, opts Options
 		if err := opts.interrupted(); err != nil {
 			return nil, err
 		}
-		row, err := runResilienceCell(cells[i].proto, cells[i].fi, seed, aqmCfg, aqmSet, recovery, opts.shards())
+		c := cells[i]
+		// AQM is keyed by the raw option string ("" = the scenario's
+		// default drop-tail switch) and Recovery by the canonical policy
+		// name ("" = the fleet default): both distinguish "unset" from an
+		// explicit selection, because the explicit forms change wiring
+		// (ECN thresholds, the T-RACKs agent) even when they name the
+		// default behavior.
+		spec := struct {
+			Family    string         `json:"family"`
+			Protocol  Protocol       `json:"protocol"`
+			Intensity FaultIntensity `json:"intensity"`
+			AQM       string         `json:"aqm,omitempty"`
+			Recovery  string         `json:"recovery,omitempty"`
+			Seed      int64          `json:"seed"`
+		}{"resilience", c.proto, c.fi, opts.AQM, recovery, seed}
+		// Retention is derived after the fan-out from the full row set,
+		// so the cached cell carries it unset and the recomputation below
+		// stays exact on warm runs.
+		row, _, err := cachedCell(opts, spec, func() (*ResilienceRow, error) {
+			return runResilienceCell(c.proto, c.fi, seed, aqmCfg, aqmSet, recovery, opts.shards())
+		})
 		if err == nil {
-			ctr.finished(fmt.Sprintf("%s/%s", cells[i].proto, cells[i].fi.Name))
+			ctr.finished(fmt.Sprintf("%s/%s", c.proto, c.fi.Name))
 		}
 		return row, err
 	})

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"time"
@@ -323,6 +324,27 @@ func (s *Series) Record(at sim.Time, v float64) {
 // Points returns the recorded observations (shared slice; callers must
 // not mutate it).
 func (s *Series) Points() []TimePoint { return s.points }
+
+// MarshalJSON encodes the recorded points as a JSON array — the wire and
+// cell-cache format for series-bearing results. The round trip is exact:
+// sim.Time is an int64 and Value a float64, both of which encoding/json
+// reproduces bit for bit (full-precision integers, shortest
+// representation floats), so a decoded series renders byte-identically
+// to the original.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	if s.points == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.points)
+}
+
+// UnmarshalJSON restores a series encoded by MarshalJSON. Any tap is
+// cleared: a decoded series is a record, not a live sampler.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	s.tap = nil
+	s.points = nil
+	return json.Unmarshal(b, &s.points)
+}
 
 // Max returns the largest recorded value (0 when empty).
 func (s *Series) Max() float64 {

@@ -29,9 +29,13 @@ type NetworkStats struct {
 type Network struct {
 	sched *sim.Scheduler
 	nodes []Node
-	out   map[NodeID][]*Pipe
-	// routes[dst][node] = equal-cost next-hop pipes from node toward dst.
-	routes map[NodeID]map[NodeID][]*Pipe
+	// out[node] = that node's outgoing pipes. NodeIDs are dense (register
+	// hands them out sequentially), so both adjacency and routes live in
+	// flat slices: the per-packet forward path indexes instead of hashing.
+	out [][]*Pipe
+	// routes[dst][node] = equal-cost next-hop pipes from node toward dst;
+	// routes[dst] == nil means that destination's tree is not built yet.
+	routes [][][]*Pipe
 	nextID NodeID
 
 	// pools holds the per-shard packet free lists (see pool.go); an
@@ -54,8 +58,6 @@ type Network struct {
 func NewNetwork(sched *sim.Scheduler) *Network {
 	return &Network{
 		sched:   sched,
-		out:     make(map[NodeID][]*Pipe),
-		routes:  make(map[NodeID]map[NodeID][]*Pipe),
 		pools:   make([]pktPool, 1),
 		shStats: make([]NetworkStats, 1),
 	}
@@ -118,6 +120,8 @@ func (n *Network) AddSwitch(name string) *Switch {
 
 func (n *Network) register(node Node) {
 	n.nodes = append(n.nodes, node)
+	n.out = append(n.out, nil)
+	n.routes = append(n.routes, nil)
 	n.nextID++
 }
 
@@ -145,7 +149,7 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) (*Pipe, *Pipe) {
 	}
 	n.out[a.ID()] = append(n.out[a.ID()], ab)
 	n.out[b.ID()] = append(n.out[b.ID()], ba)
-	n.routes = make(map[NodeID]map[NodeID][]*Pipe)
+	clear(n.routes)
 	return ab, ba
 }
 
@@ -180,11 +184,14 @@ func (n *Network) forward(node Node, pkt *Packet) {
 // nextHops returns the equal-cost next-hop pipes from node toward dst,
 // computing and caching the destination's routing tree on first use.
 // Once the cache is frozen (sharded networks prewarm every host
-// destination so parallel segments only ever read the map), a miss means
-// the destination is not a routable endpoint and the packet drops.
+// destination so parallel segments only ever read the table), a nil tree
+// means the destination is not a routable endpoint and the packet drops.
 func (n *Network) nextHops(node, dst NodeID) []*Pipe {
-	table, ok := n.routes[dst]
-	if !ok {
+	if int(dst) >= len(n.routes) {
+		return nil
+	}
+	table := n.routes[dst]
+	if table == nil {
 		if n.routesFrozen {
 			return nil
 		}
@@ -196,7 +203,7 @@ func (n *Network) nextHops(node, dst NodeID) []*Pipe {
 
 // buildRoutes runs a BFS from dst over reversed links, then records, for
 // every node, all outgoing pipes that decrease the distance to dst.
-func (n *Network) buildRoutes(dst NodeID) map[NodeID][]*Pipe {
+func (n *Network) buildRoutes(dst NodeID) [][]*Pipe {
 	const unreachable = int(^uint(0) >> 1)
 	dist := make([]int, len(n.nodes))
 	for i := range dist {
@@ -220,7 +227,7 @@ func (n *Network) buildRoutes(dst NodeID) map[NodeID][]*Pipe {
 		}
 		frontier = next
 	}
-	table := make(map[NodeID][]*Pipe, len(n.nodes))
+	table := make([][]*Pipe, len(n.nodes))
 	for id := range n.nodes {
 		u := NodeID(id)
 		if u == dst || dist[u] == unreachable {

@@ -117,7 +117,7 @@ func (n *Network) Shard(g *sim.ShardGroup, shardOf func(Node) int) error {
 			continue
 		}
 		dst := node.ID()
-		if _, ok := n.routes[dst]; !ok {
+		if n.routes[dst] == nil {
 			n.routes[dst] = n.buildRoutes(dst)
 		}
 	}

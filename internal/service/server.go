@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcptrim/internal/cellcache"
 	"tcptrim/internal/experiment"
 )
 
@@ -64,6 +65,7 @@ const DefaultStreamMinGap = 50 * time.Millisecond
 type Server struct {
 	mux         *http.ServeMux
 	cache       *Cache
+	cells       *cellcache.Store
 	codeVersion string
 	minGap      time.Duration
 
@@ -86,6 +88,14 @@ type Server struct {
 // New builds a Server and starts its workers.
 func New(cfg Config) (*Server, error) {
 	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	// The cell store shares the run cache's directory: run results are
+	// <key>.out, cells <key>.cell, so the two stores never collide. With
+	// it armed, a run that misses the run-level cache still skips every
+	// sweep cell some earlier run (of any runner) already computed.
+	cells, err := cellcache.Open(cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +124,7 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cache:       cache,
+		cells:       cells,
 		codeVersion: version,
 		minGap:      minGap,
 		jobs:        map[string]*Job{},
@@ -180,6 +191,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"simulations":   s.simulations.Load(),
 		"cacheHits":     s.cacheHits.Load(),
 		"cachedResults": s.cache.Len(),
+		// Cell-grained counters: cellMisses is the number of sweep cells
+		// actually simulated, cellHits the number answered from the store.
+		"cellHits":    s.cells.Hits(),
+		"cellMisses":  s.cells.Misses(),
+		"cachedCells": s.cells.Len(),
 	})
 }
 
@@ -390,6 +406,7 @@ func (s *Server) runJob(job *Job) {
 
 	opts := job.Spec.Options()
 	opts.Context = ctx
+	opts.Cache = s.cells
 	opts.Progress = newSink(job.stream, s.minGap)
 	var buf bytes.Buffer
 	s.simulations.Add(1)

@@ -33,6 +33,25 @@ func init() {
 	if err != nil {
 		panic(err)
 	}
+	// Two overlapping concurrency slices: wide's first three cells are
+	// exactly narrow's cells, so a narrow-then-wide submission exercises
+	// cross-runner cell reuse through the shared store.
+	for id, maxSPT := range map[string]int{"test-conc-narrow": 3, "test-conc-wide": 4} {
+		maxSPT := maxSPT
+		err := experiment.Register(experiment.RunnerInfo{
+			ID:          id,
+			Description: "test slice of the concurrency sweep",
+		}, func(opts experiment.Options, w io.Writer) error {
+			res, err := experiment.RunConcurrency(experiment.ProtoTRIM, []int{2}, maxSPT, opts)
+			if err != nil {
+				return err
+			}
+			return res.WriteTables(w)
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
 }
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -385,7 +404,8 @@ func TestStatsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"codeVersion", "jobs", "simulations", "cacheHits", "cachedResults"} {
+	for _, key := range []string{"codeVersion", "jobs", "simulations", "cacheHits", "cachedResults",
+		"cellHits", "cellMisses", "cachedCells"} {
 		if _, ok := stats[key]; !ok {
 			t.Errorf("stats missing %q: %v", key, stats)
 		}
@@ -393,6 +413,64 @@ func TestStatsEndpoint(t *testing.T) {
 	if stats["codeVersion"] != "test-v1" {
 		t.Errorf("codeVersion = %v", stats["codeVersion"])
 	}
+}
+
+// TestCellCacheComposesAcrossRunners pins the tentpole property at the
+// service layer: two different runners whose sweeps overlap share cells
+// through the store, so the second run simulates only its novel cells
+// even though the run-level cache (keyed by the whole spec) misses.
+func TestCellCacheComposesAcrossRunners(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+
+	cellStats := func() (hits, misses, simulations int64) {
+		return svc.cells.Hits(), svc.cells.Misses(), svc.simulations.Load()
+	}
+
+	narrow := submit(t, ts, RunSpec{Runner: "test-conc-narrow"})
+	waitState(t, ts, narrow.ID, StateDone)
+	hits, misses, sims := cellStats()
+	if hits != 0 || misses != 3 || sims != 1 {
+		t.Fatalf("after narrow: hits=%d misses=%d simulations=%d, want 0, 3, 1", hits, misses, sims)
+	}
+
+	wide := submit(t, ts, RunSpec{Runner: "test-conc-wide"})
+	done := waitState(t, ts, wide.ID, StateDone)
+	if done.Cached {
+		t.Fatal("wide run answered from the run-level cache; it should have run with cell reuse")
+	}
+	hits, misses, sims = cellStats()
+	if hits != 3 || misses != 4 || sims != 2 {
+		t.Fatalf("after wide: hits=%d misses=%d simulations=%d, want 3 (narrow's cells reused), 4 (one new cell), 2", hits, misses, sims)
+	}
+
+	// A cold server rendering wide from scratch must produce the same
+	// bytes the warm composition did.
+	warmOut := fetchResult(t, ts, wide.ID)
+	_, ts2 := newTestServer(t, Config{Workers: 1})
+	coldJob := submit(t, ts2, RunSpec{Runner: "test-conc-wide"})
+	waitState(t, ts2, coldJob.ID, StateDone)
+	coldOut := fetchResult(t, ts2, coldJob.ID)
+	if !bytes.Equal(warmOut, coldOut) {
+		t.Errorf("cell-composed result differs from cold run:\n-- warm --\n%s\n-- cold --\n%s", warmOut, coldOut)
+	}
+}
+
+// fetchResult reads a done run's raw result bytes.
+func fetchResult(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 func TestListRuns(t *testing.T) {

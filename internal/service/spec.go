@@ -14,8 +14,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"runtime/debug"
 
+	"tcptrim/internal/cellcache"
 	"tcptrim/internal/experiment"
 )
 
@@ -91,31 +91,10 @@ func (s RunSpec) Key(codeVersion string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// CodeVersion identifies the running simulator build for cache keying:
-// the VCS revision stamped into the binary (plus a dirty marker for
-// modified trees), or "dev" when no build info is embedded (go test,
-// unstamped builds). "dev" results are still sound within one process —
-// the in-memory cache dies with it — but a persistent cache directory
-// shared across differing "dev" builds would be unsound, so trimsvc
-// refuses -cache without a stamped revision unless forced.
+// CodeVersion identifies the running simulator build for cache keying.
+// It is cellcache.CodeVersion: the run-level cache and the cell store
+// must agree on the version or a warm run could mix results from
+// different builds.
 func CodeVersion() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "dev"
-	}
-	var rev, modified string
-	for _, kv := range info.Settings {
-		switch kv.Key {
-		case "vcs.revision":
-			rev = kv.Value
-		case "vcs.modified":
-			if kv.Value == "true" {
-				modified = "+dirty"
-			}
-		}
-	}
-	if rev == "" {
-		return "dev"
-	}
-	return rev + modified
+	return cellcache.CodeVersion()
 }

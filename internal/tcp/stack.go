@@ -12,8 +12,8 @@ import (
 type Stack struct {
 	net   *netsim.Network
 	host  *netsim.Host
-	send  map[netsim.FlowID]*Conn
-	recv  map[netsim.FlowID]*Conn
+	send  flowTable
+	recv  flowTable
 	stray int
 }
 
@@ -22,8 +22,6 @@ func NewStack(net *netsim.Network, host *netsim.Host) *Stack {
 	s := &Stack{
 		net:  net,
 		host: host,
-		send: make(map[netsim.FlowID]*Conn),
-		recv: make(map[netsim.FlowID]*Conn),
 	}
 	host.SetHandler(s.dispatch)
 	return s
@@ -38,11 +36,11 @@ func (s *Stack) StrayPackets() int { return s.stray }
 
 func (s *Stack) dispatch(pkt *netsim.Packet) {
 	if pkt.IsAck {
-		if c, ok := s.send[pkt.Flow]; ok {
+		if c := s.send.get(pkt.Flow); c != nil {
 			c.handleAck(pkt)
 			return
 		}
-	} else if c, ok := s.recv[pkt.Flow]; ok {
+	} else if c := s.recv.get(pkt.Flow); c != nil {
 		c.handleData(pkt)
 		return
 	}
@@ -50,22 +48,93 @@ func (s *Stack) dispatch(pkt *netsim.Packet) {
 }
 
 func (s *Stack) registerSender(flow netsim.FlowID, c *Conn) error {
-	if _, dup := s.send[flow]; dup {
+	if !s.send.put(flow, c) {
 		return fmt.Errorf("tcp: flow %d already has a sender on %s", flow, s.host.Name())
 	}
-	s.send[flow] = c
 	return nil
 }
 
 func (s *Stack) registerReceiver(flow netsim.FlowID, c *Conn) error {
-	if _, dup := s.recv[flow]; dup {
+	if !s.recv.put(flow, c) {
 		return fmt.Errorf("tcp: flow %d already has a receiver on %s", flow, s.host.Name())
 	}
-	s.recv[flow] = c
 	return nil
 }
 
 // unregisterSender and unregisterReceiver forget a flow (Conn.Detach);
 // a packet of the flow arriving afterwards counts as stray.
-func (s *Stack) unregisterSender(flow netsim.FlowID)   { delete(s.send, flow) }
-func (s *Stack) unregisterReceiver(flow netsim.FlowID) { delete(s.recv, flow) }
+func (s *Stack) unregisterSender(flow netsim.FlowID)   { s.send.del(flow) }
+func (s *Stack) unregisterReceiver(flow netsim.FlowID) { s.recv.del(flow) }
+
+// maxDenseFlowSpan bounds the dense table's id span (entries, 8 B each):
+// flows within the span resolve by one bounds-checked index on the
+// per-packet dispatch path; pathological outliers spill to a map instead
+// of growing the slice without bound.
+const maxDenseFlowSpan = 1 << 22
+
+// flowTable maps flow ids to connections. Experiments assign flow ids
+// densely (httpapp numbers them sequentially per fleet), so the table is
+// a base-offset slice — dispatch, the hottest per-packet path on
+// front-end hosts, replaces a map lookup with an index. Ids far outside
+// the dense span fall back to a spill map; lookups stay correct either
+// way. A Stack is owned by one shard, so the table needs no locking.
+type flowTable struct {
+	base  netsim.FlowID
+	dense []*Conn
+	spill map[netsim.FlowID]*Conn
+}
+
+// get returns the connection registered for f, or nil.
+func (t *flowTable) get(f netsim.FlowID) *Conn {
+	if i := uint64(f) - uint64(t.base); i < uint64(len(t.dense)) {
+		return t.dense[i]
+	}
+	if t.spill == nil {
+		return nil
+	}
+	return t.spill[f]
+}
+
+// put registers c under f; it reports false when f is already taken.
+func (t *flowTable) put(f netsim.FlowID, c *Conn) bool {
+	if t.get(f) != nil {
+		return false
+	}
+	if t.dense == nil {
+		t.base = f
+		t.dense = append(t.dense, c)
+		return true
+	}
+	if f >= t.base {
+		i := uint64(f) - uint64(t.base)
+		if i < maxDenseFlowSpan {
+			for uint64(len(t.dense)) <= i {
+				t.dense = append(t.dense, nil)
+			}
+			t.dense[i] = c
+			return true
+		}
+	} else if span := uint64(t.base) - uint64(f) + uint64(len(t.dense)); span <= maxDenseFlowSpan {
+		// A smaller id than the base: shift the table down (rare — flows
+		// are almost always registered in ascending order).
+		shifted := make([]*Conn, span)
+		copy(shifted[t.base-f:], t.dense)
+		shifted[0] = c
+		t.base, t.dense = f, shifted
+		return true
+	}
+	if t.spill == nil {
+		t.spill = make(map[netsim.FlowID]*Conn)
+	}
+	t.spill[f] = c
+	return true
+}
+
+// del forgets f.
+func (t *flowTable) del(f netsim.FlowID) {
+	if i := uint64(f) - uint64(t.base); i < uint64(len(t.dense)) {
+		t.dense[i] = nil
+		return
+	}
+	delete(t.spill, f)
+}
